@@ -1,0 +1,29 @@
+"""Ablation: the paper's §3.2 design progression.
+
+1. naive      — per-gradient AllReduce after the whole backward pass
+                (§3.2.1: small tensors + no overlap);
+2. bucketed   — 25 MB buckets, still launched after backward (§3.2.2);
+3. overlapped — buckets launched from autograd hooks (§3.2.3).
+"""
+
+from repro.experiments import ablations
+
+from common import report
+
+
+def bench_ablation_design_progression(benchmark):
+    rows = benchmark(ablations.design_progression)
+    report(
+        "ablation_naive",
+        "Ablation: naive -> bucketed -> overlapped DDP (ResNet50)",
+        ["backend", "gpus", "variant", "median_latency_s", "vs_naive"],
+        rows,
+    )
+    by_key = {(r[0], r[1], r[2]): r[3] for r in rows}
+    for backend in ("nccl", "gloo"):
+        for world in (16, 32):
+            naive = by_key[(backend, world, "naive")]
+            bucketed = by_key[(backend, world, "bucketed")]
+            overlapped = by_key[(backend, world, "overlapped")]
+            assert bucketed < naive
+            assert overlapped < bucketed

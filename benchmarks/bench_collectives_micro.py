@@ -1,0 +1,104 @@
+"""Microbenchmarks: real wall-clock cost of the threaded collectives.
+
+Unlike the figure benches (which run on the calibrated cost models),
+these time the *actual* in-process implementations — the ring, tree,
+halving-doubling, and hierarchical AllReduce over the thread transport,
+and a full threaded DDP training iteration.  Useful for tracking
+regressions in the library itself.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import algorithms as alg
+from repro.comm import run_distributed
+from repro.comm.transport import TransportHub
+from repro.core import DistributedDataParallel
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+WORLD = 4
+PAYLOAD = 65_536  # fp64 elements per rank
+
+
+def _run_collective(algorithm_name):
+    fn = alg.ALLREDUCE_ALGORITHMS[algorithm_name]
+    hub = TransportHub(WORLD, default_timeout=10)
+    rng = np.random.default_rng(0)
+    inputs = [rng.standard_normal(PAYLOAD) for _ in range(WORLD)]
+    outputs = [None] * WORLD
+
+    def body(rank):
+        buf = inputs[rank].copy()
+        fn(hub, list(range(WORLD)), rank, buf, "sum", tag="b")
+        outputs[rank] = buf
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(WORLD)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    return outputs
+
+
+def bench_micro_allreduce_ring(benchmark):
+    outputs = benchmark(_run_collective, "ring")
+    assert np.allclose(outputs[0], outputs[-1])
+
+
+def bench_micro_allreduce_tree(benchmark):
+    outputs = benchmark(_run_collective, "tree")
+    assert np.allclose(outputs[0], outputs[-1])
+
+
+def bench_micro_allreduce_halving_doubling(benchmark):
+    outputs = benchmark(_run_collective, "halving_doubling")
+    assert np.allclose(outputs[0], outputs[-1])
+
+
+def bench_micro_allreduce_hierarchical(benchmark):
+    outputs = benchmark(_run_collective, "hierarchical")
+    assert np.allclose(outputs[0], outputs[-1])
+
+
+def bench_micro_allreduce_naive(benchmark):
+    outputs = benchmark(_run_collective, "naive")
+    assert np.allclose(outputs[0], outputs[-1])
+
+
+def bench_micro_ddp_iteration(benchmark):
+    """One full threaded DDP iteration (2 ranks, small MLP)."""
+    rng = np.random.default_rng(1)
+    X, Y = rng.standard_normal((8, 16)), rng.integers(0, 4, 8)
+
+    def one_run():
+        def body(rank):
+            manual_seed(0)
+            model = nn.Sequential(nn.Linear(16, 64), nn.ReLU(), nn.Linear(64, 4))
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.01)
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(3):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            return True
+
+        return run_distributed(2, body, backend="gloo")
+
+    results = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert all(results)
+
+
+def bench_micro_bucket_assignment(benchmark):
+    """Bucket assignment over a realistic (ResNet50-sized) param list."""
+    from repro.core.bucket import compute_bucket_assignment
+    from repro.simulation.models import resnet50_profile
+
+    params = list(resnet50_profile().params)
+    buckets = benchmark(compute_bucket_assignment, params, 25 * 1024 * 1024)
+    assert buckets

@@ -1,0 +1,37 @@
+"""Figure 2(a,b): total AllReduce time vs parameters per operation.
+
+60 M fp32 parameters communicated in slices of k parameters each, ops
+launched asynchronously and awaited together, on 2 GPUs.  Expected
+shapes: NCCL keeps improving through 20 M params/op (no clear
+saturation); Gloo reaches its pinnacle near 500 K and flattens.
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig02a_nccl_allreduce_sweep(benchmark):
+    rows = benchmark(figures.fig02_allreduce_sweep, "nccl")
+    report(
+        "fig02a_nccl",
+        "Fig 2(a): NCCL total AllReduce time for 60M params (2 GPUs, NVLink)",
+        ["params_per_op", "total_seconds"],
+        rows,
+    )
+    times = [t for _, t in rows]
+    assert all(a > b for a, b in zip(times, times[1:])), "NCCL must keep improving"
+
+
+def bench_fig02b_gloo_allreduce_sweep(benchmark):
+    rows = benchmark(figures.fig02_allreduce_sweep, "gloo")
+    report(
+        "fig02b_gloo",
+        "Fig 2(b): Gloo total AllReduce time for 60M params (2 ranks, CPU tensors)",
+        ["params_per_op", "total_seconds"],
+        rows,
+    )
+    by_size = dict(rows)
+    # strong gains up to the ~500K knee, flat (within 2x) beyond
+    assert by_size[10_000] > 3 * by_size[500_000]
+    assert by_size[10_000_000] < 2 * by_size[500_000]

@@ -1,0 +1,34 @@
+"""Figure 2(c,d): backward-pass time vs number of ready gradients.
+
+ResNet152 (~60 M params): the GPU backward completes in ~250 ms, the
+CPU backward in ~6 s.  Jittered replays give the paper's median +
+measured-range band.
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig02c_gpu_backward_curve(benchmark):
+    rows = benchmark(figures.fig02_backward_curve, "gpu")
+    report(
+        "fig02c_gpu",
+        "Fig 2(c): ResNet152 backward on GPU — time to k ready grads (median, range)",
+        ["ready_params_M", "median_s", "min_s", "max_s"],
+        rows,
+    )
+    total = rows[-1][1]
+    assert 0.2 < total < 0.32, f"GPU backward anchor drifted: {total}"
+
+
+def bench_fig02d_cpu_backward_curve(benchmark):
+    rows = benchmark(figures.fig02_backward_curve, "cpu")
+    report(
+        "fig02d_cpu",
+        "Fig 2(d): ResNet152 backward on CPU — time to k ready grads (median, range)",
+        ["ready_params_M", "median_s", "min_s", "max_s"],
+        rows,
+    )
+    total = rows[-1][1]
+    assert 5.0 < total < 7.5, f"CPU backward anchor drifted: {total}"

@@ -1,0 +1,25 @@
+"""Figure 5: GPU connection topology of one evaluation server.
+
+Renders the 8-GPU hybrid cube-mesh matrix (NV2/NV1/NODE tiers) the
+paper's Fig. 5 depicts, and reports the link-tier bandwidth hierarchy
+that drives the intra- vs inter-server cost cliff.
+"""
+
+from repro.simnet import LinkType, dgx1_topology
+from repro.simnet.topology import LINK_BANDWIDTH
+
+from common import save_text
+
+
+def bench_fig05_topology_matrix(benchmark):
+    topo = benchmark(dgx1_topology)
+    lines = [topo.render(), ""]
+    lines.append("link-tier bandwidths (bytes/s, unidirectional):")
+    for tier in (LinkType.NV2, LinkType.NV1, LinkType.NODE, LinkType.NIC):
+        lines.append(f"  {tier.value:>4}: {LINK_BANDWIDTH[tier]:.1e}")
+    nv_ring = topo.ring_bandwidth([0, 1, 2, 3, 7, 6, 5, 4])
+    naive_ring = topo.ring_bandwidth(list(range(8)))
+    lines.append(f"NVLink-only 8-GPU ring bottleneck: {nv_ring:.1e} B/s")
+    lines.append(f"naive-order 8-GPU ring bottleneck: {naive_ring:.1e} B/s")
+    save_text("fig05_topology", "\n".join(lines))
+    assert nv_ring >= naive_ring

@@ -1,0 +1,31 @@
+"""Figure 6: per-iteration latency breakdown at 32 GPUs.
+
+Expected shape: backward dominates; communication is more than half the
+backward delay and grows with model size; NCCL beats Gloo; overlap
+yields double-digit-percent speedups everywhere (paper: 38.0% / 35.2%
+NCCL, 26.8% / 21.5% Gloo).
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig06_latency_breakdown(benchmark):
+    rows = benchmark(figures.fig06_breakdown)
+    report(
+        "fig06_breakdown",
+        "Fig 6: per-iteration latency breakdown, 32 GPUs "
+        "(normalized: no-overlap total = 1)",
+        ["model", "backend", "fwd", "bwd_comp", "comm_exposed", "opt",
+         "overlap_total", "comm_total", "overlap_speedup"],
+        rows,
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    for row in rows:
+        assert float(row[8].rstrip("%")) > 8.0  # overlap helps everywhere
+    # Gloo's communication dominates more than NCCL's
+    assert by_key[("resnet50", "gloo")][7] > by_key[("resnet50", "nccl")][7]
+    assert by_key[("bert", "gloo")][7] > by_key[("bert", "nccl")][7]
+    # communication share grows with model size (per backend)
+    assert by_key[("bert", "nccl")][7] > by_key[("resnet50", "nccl")][7]

@@ -1,0 +1,25 @@
+"""Figure 7: per-iteration latency vs bucket size on 16 GPUs.
+
+Expected shape: 0 MB (per-gradient AllReduce) is clearly worst; NCCL's
+optimum is 10-25 MB for ResNet50 and ~50 MB for BERT (bigger models
+want bigger buckets); Gloo prefers small (~5-10 MB) buckets.
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig07_bucket_size_16gpus(benchmark):
+    rows, best = benchmark(figures.bucket_size_sweep, 16)
+    report(
+        "fig07_bucket16",
+        "Fig 7: per-iteration latency vs bucket size, 16 GPUs",
+        ["model", "backend", "bucket_MB", "median_s", "p25_s", "p75_s"],
+        rows,
+    )
+    print(f"best bucket sizes: {best}")
+    assert best[("resnet50", "nccl")] in (10, 25)
+    assert best[("bert", "nccl")] in (50, 100)
+    assert best[("resnet50", "gloo")] in (5, 10)
+    assert best[("bert", "gloo")] in (5, 10, 25)

@@ -1,0 +1,41 @@
+"""Figure 8: per-iteration latency vs bucket size on 32 GPUs.
+
+Expected shapes versus Fig. 7: 0 MB degrades clearly from 16 to 32 GPUs
+(per-gradient reductions slow down with more participants), while
+bucket sizes >= 5 MB show no noticeable regression.
+"""
+
+from repro.experiments import figures
+from repro.simulation import SimulationConfig, TrainingSimulator
+from repro.simulation.models import resnet50_profile
+
+from common import report
+
+
+def bench_fig08_bucket_size_32gpus(benchmark):
+    rows, best = benchmark(figures.bucket_size_sweep, 32)
+    report(
+        "fig08_bucket32",
+        "Fig 8: per-iteration latency vs bucket size, 32 GPUs",
+        ["model", "backend", "bucket_MB", "median_s", "p25_s", "p75_s"],
+        rows,
+    )
+    print(f"best bucket sizes: {best}")
+
+    def median_at(world, cap):
+        sim = TrainingSimulator(
+            SimulationConfig(
+                model=resnet50_profile(), world_size=world, backend="nccl",
+                bucket_cap_mb=cap,
+            )
+        )
+        return sim.median_latency(16)
+
+    zero_regression = median_at(32, 0) / median_at(16, 0)
+    mid_regression = median_at(32, 25) / median_at(16, 25)
+    print(
+        f"16->32 GPU regression: 0MB buckets {zero_regression:.2f}x, "
+        f"25MB buckets {mid_regression:.2f}x"
+    )
+    assert zero_regression > mid_regression
+    assert mid_regression < 1.1

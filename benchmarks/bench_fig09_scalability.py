@@ -1,0 +1,44 @@
+"""Figure 9: scalability from 1 to 256 GPUs (shared entitlement).
+
+Expected shapes: latency grows with scale; ResNet50/NCCL at 256 GPUs is
+about 2x local training (real scaling factor ~128 of 256); Gloo slows
+~3x for ResNet50 and ~6x+ for BERT; the NCCL runs show a sudden jump
+from 128 to 256 GPUs (congested links in the shared entitlement).
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig09_scalability(benchmark):
+    results = benchmark(figures.fig09_scalability)
+    rows = [
+        (model, backend, world, latency)
+        for (model, backend), latencies in results.items()
+        for world, latency in zip(figures.SCALABILITY_WORLDS, latencies)
+    ]
+    report(
+        "fig09_scalability",
+        "Fig 9: median per-iteration latency vs number of GPUs (shared entitlement)",
+        ["model", "backend", "gpus", "median_latency_s"],
+        rows,
+    )
+    summary = [
+        (model, backend, round(lat[-1] / lat[0], 2))
+        for (model, backend), lat in results.items()
+    ]
+    report(
+        "fig09_slowdowns",
+        "Fig 9 summary: slowdown at 256 GPUs vs 1 GPU",
+        ["model", "backend", "slowdown_256x"],
+        summary,
+    )
+    slowdown = {(m, b): s for m, b, s in summary}
+    assert 1.5 < slowdown[("resnet50", "nccl")] < 3.0
+    assert 2.5 < slowdown[("resnet50", "gloo")] < 6.0
+    assert slowdown[("bert", "gloo")] > 5.0
+    resnet_nccl = results[("resnet50", "nccl")]
+    jump = resnet_nccl[-1] / resnet_nccl[-2]
+    previous_steps = [b / a for a, b in zip(resnet_nccl[2:-2], resnet_nccl[3:-1])]
+    assert jump > max(previous_steps)  # the 128 -> 256 anomaly

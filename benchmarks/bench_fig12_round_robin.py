@@ -1,0 +1,47 @@
+"""Figure 12: round-robin process groups (rr1 / rr3 / rr5).
+
+Expected shapes: negligible differences for ResNet50 on NCCL (bandwidth
+is not its bottleneck); consistent rr3 > rr1 wins for ResNet50 on Gloo;
+the largest acceleration for BERT on NCCL (one NCCL group cannot
+saturate the link — paper saw rr3 33% faster at 16 GPUs).
+"""
+
+from repro.experiments import figures
+
+from common import report
+
+
+def bench_fig12_round_robin(benchmark):
+    results = benchmark(figures.fig12_round_robin)
+    rows = [
+        (model, backend, f"rr{k}", world, latency)
+        for (model, backend, k), latencies in results.items()
+        for world, latency in zip(figures.ROUND_ROBIN_WORLDS, latencies)
+    ]
+    report(
+        "fig12_round_robin",
+        "Fig 12: median per-iteration latency with round-robin process groups",
+        ["model", "backend", "groups", "gpus", "median_latency_s"],
+        rows,
+    )
+    at16 = figures.ROUND_ROBIN_WORLDS.index(16)
+
+    def gain(model, backend):
+        rr1 = results[(model, backend, 1)][at16]
+        rr3 = results[(model, backend, 3)][at16]
+        return 1 - rr3 / rr1
+
+    summary = [
+        (model, backend, f"{gain(model, backend) * 100:.0f}%")
+        for model in ("resnet50", "bert")
+        for backend in ("nccl", "gloo")
+    ]
+    report(
+        "fig12_summary",
+        "Fig 12 summary: rr3 speedup over rr1 at 16 GPUs",
+        ["model", "backend", "rr3_speedup"],
+        summary,
+    )
+    assert abs(gain("resnet50", "nccl")) < 0.10  # negligible
+    assert gain("bert", "nccl") > 0.15  # prominent (paper: 33%)
+    assert gain("resnet50", "gloo") > 0.05  # consistent

@@ -1,0 +1,20 @@
+"""Table 1: distributed training solutions by scheme.
+
+Regenerates the paper's categorization of 15 systems across the six
+schemes (Synchronous/Asynchronous update, Cross/Intra-iteration,
+Data/Model parallel).
+"""
+
+from repro.core.taxonomy import TRAINING_SOLUTIONS, render_table1, solutions_supporting
+
+from common import save_text
+
+
+def bench_table1_taxonomy(benchmark):
+    text = benchmark(render_table1)
+    save_text("table1_taxonomy", text)
+    assert len(TRAINING_SOLUTIONS) == 15
+    assert "PT DDP" in solutions_supporting("S")
+    assert "PT DDP" in solutions_supporting("I")
+    assert "PT DDP" in solutions_supporting("D")
+    assert "PT DDP" not in solutions_supporting("M")

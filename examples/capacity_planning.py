@@ -1,0 +1,122 @@
+"""Capacity planning for a custom model (the §6.1 lessons, applied).
+
+A downstream team has its own model and wants to answer, *before*
+reserving a cluster: which backend, which bucket size, how many GPUs,
+and would round-robin groups or periodic synchronization help?  This
+example builds a simulator profile straight from a real ``nn.Module``
+(``profile_from_module``), then walks the paper's three tuning lessons:
+
+1. communication backend: NCCL when available;
+2. bucket size: sweep, the optimum is model-dependent;
+3. resource allocation: watch the machine-boundary cliff; consider
+   ``no_sync`` when scaling past it.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.models import TinyTransformer
+from repro.simulation import (
+    SimulationConfig,
+    TrainingSimulator,
+    profile_from_module,
+)
+from repro.utils import manual_seed
+
+
+def build_custom_model() -> nn.Module:
+    """The team's model: a mid-sized transformer encoder."""
+    manual_seed(0)
+    return TinyTransformer(
+        vocab_size=32_000, max_seq_len=512, hidden=512, num_heads=8,
+        num_layers=8, ffn_dim=2048, num_classes=2,
+    )
+
+
+def main() -> None:
+    model = build_custom_model()
+    # Compute anchors would normally be measured on one GPU; here we
+    # estimate from parameter count relative to the calibrated BERT.
+    profile = profile_from_module(
+        model, "team-transformer",
+        v100_forward_seconds=0.06, v100_backward_seconds=0.12,
+    )
+    print(f"profiled model: {profile} ({profile.gradient_bytes / 1e6:.0f} MB of gradients)\n")
+
+    print("lesson 1 — communication backend (16 GPUs, 25MB buckets):")
+    for backend in ("nccl", "gloo"):
+        latency = TrainingSimulator(
+            SimulationConfig(model=profile, world_size=16, backend=backend)
+        ).median_latency(8)
+        print(f"  {backend}: {latency * 1e3:7.1f} ms/iteration")
+
+    print("\nlesson 2 — bucket size sweep (16 GPUs, nccl):")
+    caps = [0, 1, 5, 10, 25, 50]
+    latencies = []
+    for cap in caps:
+        latency = TrainingSimulator(
+            SimulationConfig(
+                model=profile, world_size=16, backend="nccl", bucket_cap_mb=cap
+            )
+        ).median_latency(8)
+        latencies.append(latency)
+        print(f"  {cap:>3} MB: {latency * 1e3:7.1f} ms")
+    best_cap = caps[int(np.argmin(latencies))]
+    print(f"  -> recommend bucket_cap_mb={best_cap}")
+
+    print("\nlesson 3 — scaling and the machine boundary (8 GPUs/server):")
+    throughputs = []
+    for world in (1, 2, 4, 8, 16, 32):
+        latency = TrainingSimulator(
+            SimulationConfig(
+                model=profile, world_size=world, backend="nccl",
+                bucket_cap_mb=best_cap,
+            )
+        ).median_latency(8)
+        throughput = world / latency
+        throughputs.append((world, latency, throughput))
+        marker = "  <- crosses server boundary" if world == 16 else ""
+        print(f"  {world:>3} GPUs: {latency * 1e3:7.1f} ms/iter, "
+              f"{throughput:8.1f} samples-batches/s{marker}")
+
+    print("\n  mitigation: sync every 4 iterations at 32 GPUs:")
+    relaxed = TrainingSimulator(
+        SimulationConfig(
+            model=profile, world_size=32, backend="nccl",
+            bucket_cap_mb=best_cap, sync_every=4,
+        )
+    ).average_latency(16)
+    base = throughputs[-1][1]
+    print(f"    avg latency {relaxed * 1e3:.1f} ms vs {base * 1e3:.1f} ms "
+          f"({(1 - relaxed / base) * 100:.0f}% saved) — weigh against Fig 11's "
+          f"convergence caveat before enabling.")
+
+    print("\n  alternative: round-robin groups (rr3) at 32 GPUs:")
+    rr3 = TrainingSimulator(
+        SimulationConfig(
+            model=profile, world_size=32, backend="nccl",
+            bucket_cap_mb=best_cap, num_comm_streams=3,
+        )
+    ).median_latency(8)
+    print(f"    {rr3 * 1e3:.1f} ms vs {base * 1e3:.1f} ms "
+          f"({(1 - rr3 / base) * 100:.0f}% saved), no convergence impact.")
+
+    from repro.simulation import export_chrome_trace
+
+    trace_path = export_chrome_trace(
+        TrainingSimulator(
+            SimulationConfig(
+                model=profile, world_size=32, backend="nccl", bucket_cap_mb=best_cap
+            )
+        ),
+        "/tmp/repro_team_transformer_trace.json",
+        iterations=2,
+    )
+    print(f"\ntimeline trace written to {trace_path} (open in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Distributed image classification (the paper's vision workload, scaled
+down): a BatchNorm'd CNN on the synthetic-MNIST dataset, trained with
+DDP across 4 ranks using a DistributedSampler.
+
+Demonstrates:
+* disjoint data shards per rank (``DistributedSampler``),
+* model-buffer synchronization (BatchNorm running stats broadcast from
+  rank 0 before every synchronized forward, paper §4.1),
+* bucket-size knob usage (``bucket_cap_mb``),
+* evaluation with replicas in eval mode.
+
+Run:
+    python examples/image_classification.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import run_distributed
+from repro.core import DistributedDataParallel
+from repro.data import DataLoader, DistributedSampler, synthetic_mnist
+from repro.models import ConvNet
+from repro.optim import Adam
+from repro.utils import manual_seed
+
+WORLD_SIZE = 4
+EPOCHS = 3
+DATASET = synthetic_mnist(num_samples=512, noise=0.2, seed=7)
+
+
+def evaluate(model: nn.Module) -> float:
+    model.eval()
+    correct = 0
+    for start in range(0, len(DATASET), 64):
+        xs = Tensor(np.stack([DATASET[i][0] for i in range(start, min(start + 64, len(DATASET)))]))
+        ys = np.array([DATASET[i][1] for i in range(start, min(start + 64, len(DATASET)))])
+        correct += int((model(xs).argmax(axis=1) == ys).sum())
+    model.train()
+    return correct / len(DATASET)
+
+
+def train(rank: int):
+    manual_seed(0)
+    model = ConvNet(num_classes=10, channels=4)
+    ddp = DistributedDataParallel(model, bucket_cap_mb=1.0)
+    optimizer = Adam(ddp.parameters(), lr=3e-3)
+    loss_fn = nn.CrossEntropyLoss()
+
+    sampler = DistributedSampler(DATASET, WORLD_SIZE, rank, shuffle=True, seed=1)
+    loader = DataLoader(DATASET, batch_size=32, sampler=sampler)
+
+    for epoch in range(EPOCHS):
+        sampler.set_epoch(epoch)
+        epoch_loss, batches = 0.0, 0
+        for images, labels in loader:
+            optimizer.zero_grad()
+            loss = loss_fn(ddp(images), labels)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        if rank == 0:
+            accuracy = evaluate(model)
+            print(
+                f"epoch {epoch}: mean shard loss {epoch_loss / batches:.3f}, "
+                f"train accuracy {accuracy:.1%}"
+            )
+    return evaluate(model)
+
+
+def main() -> None:
+    print(
+        f"ConvNet ({ConvNet(channels=4).num_parameters()} params) on "
+        f"synthetic MNIST, {WORLD_SIZE} ranks, {EPOCHS} epochs\n"
+    )
+    accuracies = run_distributed(WORLD_SIZE, train, backend="gloo", timeout=120)
+    print(f"\nfinal accuracy per rank: {[f'{a:.1%}' for a in accuracies]}")
+    assert min(accuracies) == max(accuracies), "replicas diverged!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Parameter server vs DDP (the paper's §2.3 architectural contrast).
+
+Trains the same classifier three ways on the same data shards —
+
+1. DDP (synchronized AllReduce, overlapped),
+2. a synchronous parameter server (rank 0 owns the parameters),
+3. an asynchronous parameter server (stale gradients),
+
+— then compares (a) equivalence to local full-batch training and
+(b) the bytes each architecture moves per iteration. The sync PS is
+mathematically equivalent too, but its server link carries every
+worker's gradients and parameters; the async PS gives up equivalence
+entirely.
+
+Run:
+    python examples/parameter_server_vs_ddp.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.baselines import run_parameter_server_training
+from repro.comm import run_distributed
+from repro.core import DistributedDataParallel
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+WORKERS = 2
+ITERS = 8
+LR = 0.05
+
+rng = np.random.default_rng(2)
+X = rng.standard_normal((WORKERS * 8, 10))
+Y = rng.integers(0, 3, WORKERS * 8)
+
+
+def make_model():
+    manual_seed(12)
+    return nn.Sequential(nn.Linear(10, 24), nn.ReLU(), nn.Linear(24, 3))
+
+
+def local_reference():
+    model = make_model()
+    opt = SGD(model.parameters(), lr=LR)
+    loss_fn = nn.CrossEntropyLoss()
+    for _ in range(ITERS):
+        opt.zero_grad()
+        loss_fn(model(Tensor(X)), Y).backward()
+        opt.step()
+    return model.state_dict()
+
+
+def train_ddp():
+    def body(rank):
+        model = make_model()
+        ddp = DistributedDataParallel(model)
+        opt = SGD(ddp.parameters(), lr=LR)
+        loss_fn = nn.CrossEntropyLoss()
+        shard = slice(rank * 8, (rank + 1) * 8)
+        hub = ddp.process_group.hub
+        baseline = hub.bytes_sent[rank]
+        for _ in range(ITERS):
+            opt.zero_grad()
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+            opt.step()
+        return ddp.state_dict(), hub.bytes_sent[rank] - baseline
+
+    results = run_distributed(WORKERS, body, backend="gloo")
+    return results[0][0], sum(b for _, b in results)
+
+
+def train_ps(mode):
+    def worker_fn(worker_index, iteration, model):
+        loss_fn = nn.CrossEntropyLoss()
+        shard = slice(worker_index * 8, (worker_index + 1) * 8)
+        loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+
+    server_state, _ = run_parameter_server_training(
+        world_size=WORKERS + 1,
+        make_model=make_model,
+        make_optimizer=lambda m: SGD(m.parameters(), lr=LR),
+        worker_fn=worker_fn,
+        iterations=ITERS,
+        mode=mode,
+    )
+    # wire volume: each iteration every worker pushes grads and pulls
+    # params through the server link
+    n = make_model().num_parameters()
+    wire = ITERS * WORKERS * 2 * n * 8
+    return server_state["state"], wire
+
+
+def drift(state, reference):
+    return max(np.abs(state[name] - reference[name]).max() for name in reference)
+
+
+def main() -> None:
+    reference = local_reference()
+
+    ddp_state, ddp_bytes = train_ddp()
+    sync_state, ps_bytes = train_ps("sync")
+    async_state, _ = train_ps("async")
+
+    print(f"{WORKERS} workers, {ITERS} iterations, plain SGD lr={LR}\n")
+    print("drift from local full-batch training:")
+    print(f"  DDP:                  {drift(ddp_state, reference):.2e}   (equivalent)")
+    print(f"  sync param server:    {drift(sync_state, reference):.2e}   (equivalent)")
+    print(f"  async param server:   {drift(async_state, reference):.2e}   (stale grads)")
+    print("\ngradient-exchange volume over the run:")
+    print(f"  DDP AllReduce:        {ddp_bytes / 1e6:6.2f} MB total across ranks")
+    print(f"  param server link:    {ps_bytes / 1e6:6.2f} MB through ONE server NIC")
+    print("\nthe sync PS matches DDP mathematically, but its single server link")
+    print("carries every worker's traffic — the §2.3 scaling bottleneck;")
+    print("the async PS removes the barrier at the cost of equivalence.")
+
+
+if __name__ == "__main__":
+    main()

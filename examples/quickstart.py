@@ -1,0 +1,75 @@
+"""Quickstart: the paper's §3.1 example, runnable end to end.
+
+Converting local training to distributed data parallel training is one
+line: wrap the model in ``DistributedDataParallel``.  This script runs
+the paper's toy example (an ``nn.Linear(10, 10)`` with MSE loss and
+SGD) on 4 rank threads and verifies the mathematical-equivalence
+guarantee: every replica ends each iteration in an identical state.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import nn, optim
+from repro.autograd import Tensor
+from repro.comm import run_distributed
+from repro.core import DistributedDataParallel
+from repro.utils import manual_seed
+
+WORLD_SIZE = 4
+ITERATIONS = 5
+
+# Shared synthetic data: each rank trains on its own shard.
+rng = np.random.default_rng(0)
+INPUTS = rng.standard_normal((WORLD_SIZE * 20, 10))
+TARGETS = rng.standard_normal((WORLD_SIZE * 20, 10))
+
+
+def train(rank: int):
+    # Identical seeds => identical initial replicas (DDP also broadcasts
+    # rank 0's state at construction, so this is belt and braces).
+    manual_seed(42)
+
+    # --- the paper's snippet, lines 10-12 -----------------------------
+    net = nn.Linear(10, 10)
+    net = DistributedDataParallel(net)  # the only changed line
+    opt = optim.SGD(net.parameters(), lr=0.01)
+    # -------------------------------------------------------------------
+
+    loss_fn = nn.MSELoss()
+    shard = slice(rank * 20, (rank + 1) * 20)
+    inp = Tensor(INPUTS[shard])
+    exp = Tensor(TARGETS[shard])
+
+    for iteration in range(ITERATIONS):
+        opt.zero_grad()
+        out = net(inp)                     # forward pass
+        loss = loss_fn(out, exp)
+        loss.backward()                    # hooks AllReduce gradients
+        opt.step()                         # identical update everywhere
+        if rank == 0:
+            print(f"iteration {iteration}: loss={loss.item():.6f}")
+
+    return net.state_dict()
+
+
+def main() -> None:
+    print(f"training nn.Linear(10, 10) on {WORLD_SIZE} ranks (gloo backend)\n")
+    states = run_distributed(WORLD_SIZE, train, backend="gloo")
+
+    # Verify the correctness guarantee: all replicas are bit-identical.
+    reference = states[0]
+    worst = max(
+        np.abs(states[rank][name] - reference[name]).max()
+        for rank in range(1, WORLD_SIZE)
+        for name in reference
+    )
+    print(f"\nmax parameter divergence across replicas: {worst:.2e}")
+    assert worst == 0.0, "replicas diverged!"
+    print("all replicas identical — mathematical equivalence holds.")
+
+
+if __name__ == "__main__":
+    main()

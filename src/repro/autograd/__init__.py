@@ -1,0 +1,46 @@
+"""A dynamic, define-by-run automatic differentiation engine.
+
+This package is the substrate that stands in for PyTorch's tensor library
+and autograd engine.  It reproduces exactly the surfaces that
+``DistributedDataParallel`` depends on:
+
+* ``Tensor`` — an n-dimensional array with ``requires_grad`` / ``.grad``.
+* A dynamic autograd *tape*: every forward pass builds a fresh graph, so
+  iterations may touch different sub-graphs (the "pluralized graphs"
+  caveat of the paper, Fig. 3(b)).
+* ``AccumulateGrad`` nodes on leaf tensors that accept **post-hooks**,
+  fired after the gradient has been written — the entry point the DDP
+  reducer uses to detect gradient readiness (paper §3.2.3, §4.2).
+* Graph traversal from output tensors to discover which parameters
+  participate in a given iteration (paper Algorithm 1, line 10).
+"""
+
+from repro.autograd.tensor import Tensor, tensor, zeros, ones, randn, full, arange
+from repro.autograd.engine import (
+    AccumulateGrad,
+    backward,
+    no_grad,
+    is_grad_enabled,
+)
+from repro.autograd.graph import collect_participating_accumulators
+from repro.autograd.gradcheck import gradcheck, numeric_gradient, GradcheckError
+from repro.autograd import ops
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "full",
+    "arange",
+    "AccumulateGrad",
+    "backward",
+    "no_grad",
+    "is_grad_enabled",
+    "collect_participating_accumulators",
+    "gradcheck",
+    "numeric_gradient",
+    "GradcheckError",
+    "ops",
+]

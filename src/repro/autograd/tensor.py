@@ -1,0 +1,325 @@
+"""The ``Tensor`` type: an n-dimensional array that records a tape.
+
+Mirrors the PyTorch surface that data parallel training relies on: leaf
+tensors with ``requires_grad=True`` own an ``AccumulateGrad`` node (the
+hook point for the DDP reducer), interior tensors carry ``grad_fn``, and
+``backward()`` runs the engine from a scalar loss.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.utils.seed import get_rng
+
+Scalar = Union[int, float]
+ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
+
+
+class Tensor:
+    """An n-dimensional array participating in automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts. Floating data defaults to
+        ``float64`` so that distributed-vs-local equivalence tests can
+        assert tight numeric agreement.
+    requires_grad:
+        Whether backward passes should accumulate into ``.grad``.
+    """
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, device: str = "cpu"):
+        if isinstance(data, Tensor):
+            device = data.device
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind in "iub" and requires_grad:
+            raise TypeError("only floating-point tensors can require gradients")
+        self.data: np.ndarray = arr
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[Tensor] = None
+        self.grad_fn = None
+        self._accumulator = None
+        # Logical placement tag ("cpu", "gpu:0", ...). There is no real
+        # accelerator here, but DDP's bucket assignment must respect device
+        # affinity for multi-device models, so tensors carry the tag.
+        self.device = device
+
+    # -- structural properties ----------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (PyTorch's ``numel``)."""
+        return int(self.data.size)
+
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def element_size(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def nbytes(self) -> int:
+        return self.numel() * self.element_size()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.grad_fn is None
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_part})"
+
+    # -- autograd wiring ----------------------------------------------
+    def _grad_edge(self):
+        """Edge the tape should point at for this tensor as an input."""
+        if self.grad_fn is not None:
+            return self.grad_fn
+        return self.accumulator()
+
+    def accumulator(self):
+        """This leaf's ``AccumulateGrad`` node, created on first demand.
+
+        DDP installs its post-hooks here; the node identity is stable for
+        the lifetime of the tensor so hooks survive across iterations.
+        """
+        from repro.autograd.engine import AccumulateGrad
+
+        if not self.requires_grad or self.grad_fn is not None:
+            raise RuntimeError(
+                "accumulator() is only defined for leaf tensors that require grad"
+            )
+        if self._accumulator is None:
+            self._accumulator = AccumulateGrad(self)
+        return self._accumulator
+
+    def backward(self, grad: Optional["Tensor"] = None) -> None:
+        """Run backpropagation from this tensor.
+
+        ``grad`` defaults to ones for scalar outputs, as in PyTorch.
+        """
+        from repro.autograd.engine import backward as run_backward
+
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be specified for non-scalar outputs")
+            grad_data = np.ones_like(self.data)
+        else:
+            grad_data = grad.data if isinstance(grad, Tensor) else np.asarray(grad)
+        run_backward(self, grad_data)
+
+    def detach(self) -> "Tensor":
+        """A view of the same storage, cut from the tape."""
+        out = Tensor(self.data, requires_grad=False)
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def copy_(self, other: ArrayLike) -> "Tensor":
+        """In-place copy preserving identity (used by broadcast/allreduce)."""
+        src = other.data if isinstance(other, Tensor) else np.asarray(other)
+        np.copyto(self.data, src.reshape(self.data.shape))
+        return self
+
+    def clone(self) -> "Tensor":
+        from repro.autograd import ops
+
+        if self.requires_grad or self.grad_fn is not None:
+            return ops.clone(self)
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def to(self, device: str) -> "Tensor":
+        """Retag this tensor's logical device (in place; returns self)."""
+        self.device = device
+        return self
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    # -- operators (all defined in ops.py) -----------------------------
+    def __add__(self, other):
+        from repro.autograd import ops
+
+        return ops.add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(self, _wrap(other))
+
+    def __rsub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(_wrap(other), self)
+
+    def __mul__(self, other):
+        from repro.autograd import ops
+
+        return ops.mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(self, _wrap(other))
+
+    def __rtruediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(_wrap(other), self)
+
+    def __neg__(self):
+        from repro.autograd import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: Scalar):
+        from repro.autograd import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other):
+        from repro.autograd import ops
+
+        return ops.matmul(self, _wrap(other))
+
+    def __getitem__(self, index):
+        from repro.autograd import ops
+
+        return ops.getitem(self, index)
+
+    # -- reductions and shapes -----------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.max(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.autograd import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def view(self, *shape):
+        return self.reshape(*shape)
+
+    def transpose(self, axis0: int, axis1: int):
+        from repro.autograd import ops
+
+        return ops.transpose(self, axis0, axis1)
+
+    @property
+    def T(self):
+        from repro.autograd import ops
+
+        if self.ndim != 2:
+            raise ValueError(".T is only supported for 2-D tensors")
+        return ops.transpose(self, 0, 1)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def exp(self):
+        from repro.autograd import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from repro.autograd import ops
+
+        return ops.log(self)
+
+    def tanh(self):
+        from repro.autograd import ops
+
+        return ops.tanh(self)
+
+    def sigmoid(self):
+        from repro.autograd import ops
+
+        return ops.sigmoid(self)
+
+    def relu(self):
+        from repro.autograd import ops
+
+        return ops.relu(self)
+
+
+def _wrap(value: ArrayLike) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+# -- factory functions -------------------------------------------------
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Build a tensor from array-like data (copying, like ``torch.tensor``)."""
+    return Tensor(np.array(data, dtype=np.float64, copy=True), requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    shape = _normalize_shape(shape)
+    return Tensor(np.zeros(shape, dtype=np.float64), requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    shape = _normalize_shape(shape)
+    return Tensor(np.ones(shape, dtype=np.float64), requires_grad)
+
+
+def full(shape: Iterable[int], fill_value: Scalar, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(tuple(shape), fill_value, dtype=np.float64), requires_grad)
+
+
+def randn(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor drawn from the thread-local seeded generator."""
+    shape = _normalize_shape(shape)
+    return Tensor(get_rng().standard_normal(shape), requires_grad)
+
+
+def arange(stop: int, start: int = 0, step: int = 1) -> Tensor:
+    return Tensor(np.arange(start, stop, step, dtype=np.float64))
+
+
+def _normalize_shape(shape: tuple) -> tuple:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        return tuple(shape[0])
+    return shape

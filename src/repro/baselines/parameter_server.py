@@ -1,0 +1,245 @@
+"""A parameter-server baseline over point-to-point communication.
+
+The paper contrasts DDP's synchronized collectives with "the P2P
+communication used in parameter servers" (§2.3, citing Li et al., OSDI
+2014).  This module implements that architecture on the same transport
+DDP's collectives use, so the two strategies are directly comparable:
+
+* **server rank** (global rank 0 by convention) owns the authoritative
+  parameters and the only optimizer; it aggregates pushed gradients and
+  serves parameter pulls.
+* **worker ranks** compute gradients on local shards, push them to the
+  server, and pull fresh parameters.
+
+Two modes:
+
+* ``sync`` — the server waits for one gradient from every worker per
+  round, averages, steps once, then answers all pulls: mathematically
+  equivalent to DDP/local training, but every gradient crosses the wire
+  twice (push + pull) through a single server link.
+* ``async`` — the server applies each gradient the moment it arrives
+  and replies with the current parameters: no barrier, no equivalence —
+  workers train on stale parameters (Table 1's "A" rows).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.comm.transport import TransportHub
+
+_PUSH = "ps/push"
+_PULL = "ps/pull"
+_STOP = "ps/stop"
+
+
+def _flatten_params(module) -> np.ndarray:
+    return np.concatenate([p.data.reshape(-1) for p in module.parameters()])
+
+
+def _unflatten_into(module, flat: np.ndarray) -> None:
+    offset = 0
+    for param in module.parameters():
+        size = param.numel()
+        param.data[...] = flat[offset : offset + size].reshape(param.shape)
+        offset += size
+
+
+def _flatten_grads(module) -> np.ndarray:
+    chunks = []
+    for param in module.parameters():
+        if param.grad is None:
+            chunks.append(np.zeros(param.numel()))
+        else:
+            chunks.append(param.grad.data.reshape(-1))
+    return np.concatenate(chunks)
+
+
+def _write_grads(module, flat: np.ndarray) -> None:
+    from repro.autograd.tensor import Tensor
+
+    offset = 0
+    for param in module.parameters():
+        size = param.numel()
+        value = flat[offset : offset + size].reshape(param.shape)
+        if param.grad is None:
+            param.grad = Tensor(value.copy())
+        else:
+            param.grad.data[...] = value
+        offset += size
+
+
+class ParameterServer:
+    """The server rank's event loop.
+
+    Owns ``module`` (the authoritative parameters) and ``optimizer``.
+    ``serve()`` processes pushes and pulls until every worker has sent a
+    stop notice.
+    """
+
+    def __init__(
+        self,
+        module,
+        optimizer,
+        hub: TransportHub,
+        server_rank: int,
+        worker_ranks: List[int],
+        mode: str = "sync",
+    ):
+        if mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+        self.module = module
+        self.optimizer = optimizer
+        self.hub = hub
+        self.server_rank = server_rank
+        self.worker_ranks = list(worker_ranks)
+        self.mode = mode
+        self.updates_applied = 0
+
+    # -- serving --------------------------------------------------------
+    def serve(self, timeout: Optional[float] = None) -> None:
+        if self.mode == "sync":
+            self._serve_sync(timeout)
+        else:
+            self._serve_async(timeout)
+
+    def _answer_pull(self, worker: int) -> None:
+        self.hub.send(self.server_rank, worker, _PULL, _flatten_params(self.module))
+
+    def _serve_sync(self, timeout) -> None:
+        """Round-based: gather one gradient per worker, step, answer pulls."""
+        active = set(self.worker_ranks)
+        while active:
+            gradients = []
+            for worker in sorted(active):
+                message = self.hub.recv(self.server_rank, worker, _PUSH, timeout)
+                if message is None:  # stop notice
+                    active.discard(worker)
+                else:
+                    gradients.append(message)
+            if not gradients:
+                break
+            mean_grad = np.mean(gradients, axis=0)
+            _write_grads(self.module, mean_grad)
+            self.optimizer.step()
+            self.updates_applied += 1
+            for worker in sorted(active):
+                self._answer_pull(worker)
+
+    def _serve_async(self, timeout) -> None:
+        """Apply each gradient on arrival; reply with current params.
+
+        Workers race: a gradient computed against parameter version v
+        may be applied at version v+k (staleness k).
+        """
+        active = set(self.worker_ranks)
+        lock = threading.Lock()
+
+        def handle(worker: int) -> None:
+            while True:
+                message = self.hub.recv(self.server_rank, worker, (_PUSH, worker), timeout)
+                if message is None:
+                    return
+                with lock:
+                    _write_grads(self.module, message)
+                    self.optimizer.step()
+                    self.updates_applied += 1
+                    self._answer_pull_async(worker)
+
+        threads = [
+            threading.Thread(target=handle, args=(w,), daemon=True) for w in sorted(active)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def _answer_pull_async(self, worker: int) -> None:
+        self.hub.send(
+            self.server_rank, worker, (_PULL, worker), _flatten_params(self.module)
+        )
+
+
+class ParameterServerWorker:
+    """A worker rank's view: pull parameters, compute, push gradients."""
+
+    def __init__(self, module, hub: TransportHub, rank: int, server_rank: int,
+                 mode: str = "sync"):
+        self.module = module
+        self.hub = hub
+        self.rank = rank
+        self.server_rank = server_rank
+        self.mode = mode
+
+    def push_and_pull(self, timeout: Optional[float] = None) -> None:
+        """Send local gradients; block for the refreshed parameters."""
+        grads = _flatten_grads(self.module)
+        if self.mode == "sync":
+            self.hub.send(self.rank, self.server_rank, _PUSH, grads)
+            fresh = self.hub.recv(self.rank, self.server_rank, _PULL, timeout)
+        else:
+            self.hub.send(self.rank, self.server_rank, (_PUSH, self.rank), grads)
+            fresh = self.hub.recv(self.rank, self.server_rank, (_PULL, self.rank), timeout)
+        _unflatten_into(self.module, fresh)
+
+    def finish(self) -> None:
+        """Notify the server this worker is done."""
+        if self.mode == "sync":
+            self.hub.send(self.rank, self.server_rank, _PUSH, None)
+        else:
+            self.hub.send(self.rank, self.server_rank, (_PUSH, self.rank), None)
+
+
+def run_parameter_server_training(
+    world_size: int,
+    make_model: Callable[[], object],
+    make_optimizer: Callable[[object], object],
+    worker_fn: Callable,
+    iterations: int,
+    mode: str = "sync",
+    timeout: float = 30.0,
+):
+    """Convenience harness: rank 0 serves, ranks 1..n-1 train.
+
+    ``worker_fn(worker_index, iteration, model)`` must run one local
+    forward/backward (gradients left in ``model``).  Returns the final
+    server-side state_dict and the per-worker results list.
+    """
+    from repro.comm import run_distributed
+
+    if world_size < 2:
+        raise ValueError("parameter server training needs >= 2 ranks")
+    worker_ranks = list(range(1, world_size))
+    server_state = {}
+
+    def body(rank: int):
+        model = make_model()
+        if rank == 0:
+            optimizer = make_optimizer(model)
+            server = ParameterServer(
+                model, optimizer, _hub_of(), 0, worker_ranks, mode=mode
+            )
+            server.serve(timeout)
+            server_state["state"] = model.state_dict()
+            server_state["updates"] = server.updates_applied
+            return None
+        worker = ParameterServerWorker(model, _hub_of(), rank, 0, mode=mode)
+        # initial pull substitute: start from identical seeds (workers
+        # construct the same model as the server by seed convention)
+        for iteration in range(iterations):
+            model.zero_grad()
+            worker_fn(rank - 1, iteration, model)
+            worker.push_and_pull(timeout)
+        worker.finish()
+        return model.state_dict()
+
+    def _hub_of():
+        from repro.comm import get_context
+
+        return get_context().hub
+
+    results = run_distributed(world_size, body, timeout=timeout)
+    return server_state, results[1:]

@@ -1,0 +1,72 @@
+"""Collective communication: the ``c10d`` analog.
+
+Each logical "process" (GPU worker) is a Python thread with a rank.  The
+package provides:
+
+* :class:`~repro.comm.store.Store` — rendezvous key/value store (the
+  analog of ``TCPStore``); ProcessGroup construction blocks until every
+  rank joins, exactly as described in paper §3.3.
+* :class:`~repro.comm.transport.TransportHub` — point-to-point message
+  channels between ranks, with byte/message accounting.
+* :mod:`~repro.comm.algorithms` — real AllReduce implementations (naive,
+  ring, binary tree, recursive halving-doubling) plus broadcast,
+  allgather, reduce-scatter, barrier.
+* :class:`~repro.comm.process_group.ProcessGroup` — the uniform API DDP
+  programs against; ``ProcessGroupNccl`` and ``ProcessGroupGloo`` differ
+  in default algorithm and in the cost personality the simulator assigns
+  them, not in semantics.
+* :class:`~repro.comm.round_robin.RoundRobinProcessGroup` — dispatches
+  successive collectives across several groups (paper §3.3, §5.4).
+* :mod:`~repro.comm.distributed` — rank context plumbing and the
+  ``run_distributed`` thread harness used by tests and examples.
+"""
+
+from repro.comm.store import Store
+from repro.comm.transport import TransportHub
+from repro.comm.process_group import (
+    ProcessGroup,
+    ProcessGroupGloo,
+    ProcessGroupMpi,
+    ProcessGroupNccl,
+    ReduceOp,
+    Work,
+    CollectiveError,
+    CollectiveMismatchError,
+    CollectiveTimeoutError,
+)
+from repro.comm.round_robin import RoundRobinProcessGroup
+from repro.comm.distributed import (
+    DistributedContext,
+    init_process_group,
+    destroy_process_group,
+    get_context,
+    get_rank,
+    get_world_size,
+    new_process_group,
+    new_round_robin_group,
+    run_distributed,
+)
+
+__all__ = [
+    "Store",
+    "TransportHub",
+    "ProcessGroup",
+    "ProcessGroupGloo",
+    "ProcessGroupMpi",
+    "ProcessGroupNccl",
+    "RoundRobinProcessGroup",
+    "ReduceOp",
+    "Work",
+    "CollectiveError",
+    "CollectiveMismatchError",
+    "CollectiveTimeoutError",
+    "DistributedContext",
+    "init_process_group",
+    "destroy_process_group",
+    "get_context",
+    "get_rank",
+    "get_world_size",
+    "new_process_group",
+    "new_round_robin_group",
+    "run_distributed",
+]

@@ -1,0 +1,447 @@
+"""The ``ProcessGroup`` abstraction and its backend implementations.
+
+DDP wraps NCCL, Gloo and MPI behind one ``ProcessGroup`` API (paper
+§3.3).  Key semantics reproduced here:
+
+* **Rendezvous construction** — all instances construct together; the
+  first arrival blocks until the last joins.
+* **Asynchronous execution** — every collective may return a ``Work``
+  handle; each rank owns a dedicated communication worker thread (the
+  analog of NCCL's dedicated CUDA streams), so communication genuinely
+  proceeds concurrently with the caller's computation.
+* **Ordered collectives** — operations on all instances must match in
+  type/shape/dtype and follow the same order.  A built-in signature
+  checker turns the real-world symptom (silent corruption or a hang)
+  into a diagnosable :class:`CollectiveMismatchError`.
+* **Device restrictions** — ``ProcessGroupNccl`` only accepts tensors on
+  ``gpu:*`` devices, which forces DDP to keep its CPU bitmap copy logic
+  (paper §4.2, "Globally Unused Parameters").
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm import algorithms
+from repro.comm.store import Store
+from repro.comm.transport import TransportHub, TransportTimeoutError
+
+
+class ReduceOp:
+    """Reduction operators accepted by collectives."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    BOR = "bor"
+    BAND = "band"
+
+
+class CollectiveError(RuntimeError):
+    """Base class for collective-communication failures."""
+
+
+class CollectiveMismatchError(CollectiveError):
+    """Ranks disagreed on the collective sequence (paper Fig. 3(a) failure)."""
+
+
+class CollectiveTimeoutError(CollectiveError):
+    """A collective did not complete in time (a peer hung or diverged)."""
+
+
+class Work:
+    """Handle for an asynchronously executing collective."""
+
+    def __init__(self, description: str = ""):
+        self._done = threading.Event()
+        self._error: Optional[BaseException] = None
+        self.description = description
+
+    def _complete(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        self._done.set()
+
+    def is_completed(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until the collective finishes; re-raise any failure."""
+        if not self._done.wait(timeout):
+            raise CollectiveTimeoutError(
+                f"timed out waiting for collective {self.description!r}"
+            )
+        if self._error is not None:
+            raise self._error
+
+    def __repr__(self) -> str:
+        state = "done" if self.is_completed() else "pending"
+        return f"<Work {self.description} {state}>"
+
+
+def _as_array(tensor) -> np.ndarray:
+    """Accept either a library Tensor or a raw ndarray."""
+    if isinstance(tensor, np.ndarray):
+        return tensor
+    data = getattr(tensor, "data", None)
+    if not isinstance(data, np.ndarray):
+        raise TypeError(f"collectives operate on tensors/ndarrays, got {type(tensor)}")
+    return data
+
+
+def _device_of(tensor) -> Optional[str]:
+    """Device tag, or None for raw ndarrays (treated as device memory)."""
+    if isinstance(tensor, np.ndarray):
+        return None
+    return getattr(tensor, "device", None)
+
+
+class ProcessGroup:
+    """One rank's membership in a communicator group.
+
+    Subclasses choose the default AllReduce algorithm and the accepted
+    device kinds.  Per-rank instances coordinate purely through the
+    shared :class:`TransportHub` and :class:`Store`.
+    """
+
+    #: Backend name, e.g. "nccl" — used by cost models and diagnostics.
+    backend = "base"
+    #: Default AllReduce algorithm key into ``algorithms.ALLREDUCE_ALGORITHMS``.
+    default_algorithm = "ring"
+    #: Whether tensors tagged "cpu" may be communicated.
+    supports_cpu_tensors = True
+
+    def __init__(
+        self,
+        store: Store,
+        hub: TransportHub,
+        rank: int,
+        ranks: Optional[Sequence[int]] = None,
+        group_id: Optional[int] = None,
+        timeout: float = 30.0,
+        algorithm: Optional[str] = None,
+        check_consistency: bool = True,
+    ):
+        self.store = store
+        self.hub = hub
+        self.global_rank = rank
+        self.ranks: List[int] = sorted(ranks) if ranks is not None else list(
+            range(hub.world_size)
+        )
+        if rank not in self.ranks:
+            raise ValueError(f"rank {rank} is not a member of group ranks {self.ranks}")
+        self.group_rank = self.ranks.index(rank)
+        self.timeout = timeout
+        self.algorithm = algorithm or self.default_algorithm
+        if self.algorithm not in algorithms.ALLREDUCE_ALGORITHMS:
+            raise ValueError(f"unknown allreduce algorithm {self.algorithm!r}")
+        self.check_consistency = check_consistency
+        self._seq = 0
+        self._group_id = group_id if group_id is not None else 0
+        # Byte counter for tests and reporting.
+        self.bytes_communicated = 0
+        self._closed = False
+
+        # Rendezvous: block until every member has constructed (paper §3.3).
+        arrival_key = f"pg{self._group_id}/arrivals"
+        self.store.add(arrival_key, 1)
+        self.store.wait_value(
+            arrival_key, lambda v: v >= len(self.ranks), timeout=timeout
+        )
+
+        # The dedicated communication worker ("stream").
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker = threading.Thread(
+            target=self._worker_loop,
+            name=f"pg{self._group_id}-rank{rank}-comm",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # worker machinery
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, work = item
+            try:
+                fn()
+            except BaseException as exc:  # propagate through the Work handle
+                work._complete(exc)
+            else:
+                work._complete()
+
+    def _submit(self, fn, description: str, async_op: bool) -> Optional[Work]:
+        if self._closed:
+            raise CollectiveError("process group has been shut down")
+        work = Work(description)
+        self._queue.put((fn, work))
+        if async_op:
+            return work
+        work.wait(self.timeout + 5.0)
+        return None
+
+    def shutdown(self) -> None:
+        """Stop the worker thread (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(None)
+            self._worker.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # consistency checking
+    # ------------------------------------------------------------------
+    def _check_signature(self, seq: int, signature: tuple) -> None:
+        """Verify all ranks issue the same collective at sequence ``seq``.
+
+        The group leader publishes its signature; everyone else compares.
+        Real libraries would corrupt data or hang here (paper §3.3); we
+        raise a precise error instead.
+        """
+        if not self.check_consistency:
+            return
+        key = f"pg{self._group_id}/sig/{seq}"
+        if self.group_rank == 0:
+            self.store.set(key, signature)
+        else:
+            leader_sig = self.store.get(key, timeout=self.timeout)
+            if leader_sig != signature:
+                raise CollectiveMismatchError(
+                    f"collective #{seq} mismatch in group {self._group_id}: "
+                    f"rank {self.global_rank} issued {signature}, "
+                    f"leader issued {leader_sig}. All ranks must launch "
+                    f"collectives in the same order with matching shapes."
+                )
+
+    def _next_tag(self, op_name: str) -> tuple:
+        seq = self._seq
+        self._seq += 1
+        return (self._group_id, seq, op_name)
+
+    def _check_device(self, tensor) -> None:
+        if not self.supports_cpu_tensors and _device_of(tensor) == "cpu":
+            raise CollectiveError(
+                f"{type(self).__name__} only supports device tensors "
+                f"(got a tensor on 'cpu'); copy to a gpu:* device first"
+            )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def allreduce(self, tensor, op: str = ReduceOp.SUM, async_op: bool = False):
+        """Reduce ``tensor`` in place across the group (sum by default)."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("allreduce")
+        seq = tag[1]
+        signature = ("allreduce", array.shape, str(array.dtype), op)
+        algorithm = algorithms.ALLREDUCE_ALGORITHMS[self.algorithm]
+        self.bytes_communicated += array.nbytes
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            try:
+                algorithm(
+                    self.hub, self.ranks, self.group_rank, array, op, tag, self.timeout
+                )
+            except TransportTimeoutError as exc:
+                raise CollectiveTimeoutError(str(exc)) from exc
+
+        return self._submit(run, f"allreduce#{seq}", async_op)
+
+    def broadcast(self, tensor, src: int = 0, async_op: bool = False):
+        """Broadcast from group-rank ``src`` into every rank's tensor."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("broadcast")
+        seq = tag[1]
+        signature = ("broadcast", array.shape, str(array.dtype), src)
+        self.bytes_communicated += array.nbytes
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            try:
+                algorithms.broadcast(
+                    self.hub, self.ranks, self.group_rank, array, src, tag, self.timeout
+                )
+            except TransportTimeoutError as exc:
+                raise CollectiveTimeoutError(str(exc)) from exc
+
+        return self._submit(run, f"broadcast#{seq}", async_op)
+
+    def allgather(self, tensor, async_op: bool = False):
+        """Gather every rank's tensor; sync form returns (world, n) array."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("allgather")
+        seq = tag[1]
+        signature = ("allgather", array.shape, str(array.dtype))
+        self.bytes_communicated += array.nbytes * len(self.ranks)
+        result: list = [None]
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            try:
+                result[0] = algorithms.allgather(
+                    self.hub, self.ranks, self.group_rank, array, tag, self.timeout
+                )
+            except TransportTimeoutError as exc:
+                raise CollectiveTimeoutError(str(exc)) from exc
+
+        work = self._submit(run, f"allgather#{seq}", async_op)
+        if async_op:
+            work.result = result  # type: ignore[attr-defined]
+            return work
+        return result[0]
+
+    def reduce_scatter(self, tensor, op: str = ReduceOp.SUM):
+        """Synchronously reduce-scatter; returns this rank's chunk."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("reduce_scatter")
+        seq = tag[1]
+        signature = ("reduce_scatter", array.shape, str(array.dtype), op)
+        self.bytes_communicated += array.nbytes
+        result: list = [None]
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            result[0] = algorithms.reduce_scatter(
+                self.hub, self.ranks, self.group_rank, array, op, tag, self.timeout
+            )
+
+        self._submit(run, f"reduce_scatter#{seq}", async_op=False)
+        return result[0]
+
+    def reduce(self, tensor, root: int = 0, op: str = ReduceOp.SUM):
+        """Reduce into group-rank ``root``'s tensor (synchronous)."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("reduce")
+        seq = tag[1]
+        signature = ("reduce", array.shape, str(array.dtype), root, op)
+        self.bytes_communicated += array.nbytes
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            algorithms.reduce(
+                self.hub, self.ranks, self.group_rank, array, root, op, tag, self.timeout
+            )
+
+        self._submit(run, f"reduce#{seq}", async_op=False)
+
+    def gather(self, tensor, root: int = 0):
+        """Gather tensors at ``root``; returns (world, n) there, None elsewhere."""
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("gather")
+        seq = tag[1]
+        signature = ("gather", array.shape, str(array.dtype), root)
+        self.bytes_communicated += array.nbytes
+        result: list = [None]
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            result[0] = algorithms.gather(
+                self.hub, self.ranks, self.group_rank, array, root, tag, self.timeout
+            )
+
+        self._submit(run, f"gather#{seq}", async_op=False)
+        return result[0]
+
+    def scatter(self, chunks=None, root: int = 0):
+        """Scatter root's per-rank chunks; returns this rank's chunk."""
+        tag = self._next_tag("scatter")
+        seq = tag[1]
+        signature = ("scatter", root)
+        result: list = [None]
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            result[0] = algorithms.scatter(
+                self.hub, self.ranks, self.group_rank, chunks, root, tag, self.timeout
+            )
+
+        self._submit(run, f"scatter#{seq}", async_op=False)
+        return result[0]
+
+    def send(self, tensor, dst: int, tag: object = "p2p") -> None:
+        """Point-to-point send to group-rank ``dst`` (paper §2.3 contrasts
+        this with collectives; provided for parameter-server-style code)."""
+        array = _as_array(tensor)
+        self.bytes_communicated += array.nbytes
+        self.hub.send(
+            self.ranks[self.group_rank], self.ranks[dst], ("p2p", self._group_id, tag),
+            array.copy(),
+        )
+
+    def recv(self, tensor, src: int, tag: object = "p2p") -> None:
+        """Blocking point-to-point receive from group-rank ``src``."""
+        array = _as_array(tensor)
+        incoming = self.hub.recv(
+            self.ranks[self.group_rank], self.ranks[src], ("p2p", self._group_id, tag),
+            self.timeout,
+        )
+        array[...] = incoming.reshape(array.shape)
+
+    def barrier(self) -> None:
+        tag = self._next_tag("barrier")
+        seq = tag[1]
+
+        def run() -> None:
+            self._check_signature(seq, ("barrier",))
+            algorithms.barrier(self.hub, self.ranks, self.group_rank, tag, self.timeout)
+
+        self._submit(run, f"barrier#{seq}", async_op=False)
+
+
+class ProcessGroupNccl(ProcessGroup):
+    """NCCL personality: ring AllReduce, device tensors only.
+
+    Like ``ProcessGroupNCCL`` in the paper (§4.2), CPU tensors are
+    rejected — DDP must stage its unused-parameter bitmap through a
+    device-resident copy when running on this backend.
+    """
+
+    backend = "nccl"
+    default_algorithm = "ring"
+    supports_cpu_tensors = False
+
+
+class ProcessGroupGloo(ProcessGroup):
+    """Gloo personality: halving-doubling AllReduce, CPU tensors fine."""
+
+    backend = "gloo"
+    default_algorithm = "halving_doubling"
+    supports_cpu_tensors = True
+
+
+class ProcessGroupMpi(ProcessGroup):
+    """MPI personality: the paper's third backend option (§3.3).
+
+    Tree-based AllReduce (latency-optimized, as in classic MPI
+    implementations); CPU tensors accepted.  The paper does not evaluate
+    MPI, so no cost-model personality is calibrated for it.
+    """
+
+    backend = "mpi"
+    default_algorithm = "tree"
+    supports_cpu_tensors = True
+
+
+BACKENDS = {
+    "nccl": ProcessGroupNccl,
+    "gloo": ProcessGroupGloo,
+    "mpi": ProcessGroupMpi,
+}

@@ -1,0 +1,76 @@
+"""Rendezvous key/value store (the ``TCPStore`` analog).
+
+The paper (§3.3) describes ProcessGroup construction as "implemented
+using a rendezvous service, where the first arrival will block waiting
+until the last instance joins".  ``Store`` provides exactly that:
+blocking ``get``/``wait`` plus an atomic ``add`` counter that the group
+constructors use to allocate ids and count arrivals.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable
+
+
+class StoreTimeoutError(TimeoutError):
+    """A blocking store operation exceeded its timeout."""
+
+
+class Store:
+    """Thread-safe key/value store with blocking reads and atomic adds."""
+
+    def __init__(self, timeout: float = 30.0):
+        self._data: Dict[str, Any] = {}
+        self._lock = threading.Condition()
+        self.timeout = timeout
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._lock.notify_all()
+
+    def get(self, key: str, timeout: float | None = None) -> Any:
+        """Return ``key``'s value, blocking until some rank sets it."""
+        deadline = timeout if timeout is not None else self.timeout
+        with self._lock:
+            ok = self._lock.wait_for(lambda: key in self._data, deadline)
+            if not ok:
+                raise StoreTimeoutError(f"store.get({key!r}) timed out after {deadline}s")
+            return self._data[key]
+
+    def add(self, key: str, amount: int = 1) -> int:
+        """Atomically add to an integer key, creating it at 0; returns the new value."""
+        with self._lock:
+            value = int(self._data.get(key, 0)) + amount
+            self._data[key] = value
+            self._lock.notify_all()
+            return value
+
+    def wait(self, keys: Iterable[str], timeout: float | None = None) -> None:
+        deadline = timeout if timeout is not None else self.timeout
+        keys = list(keys)
+        with self._lock:
+            ok = self._lock.wait_for(lambda: all(k in self._data for k in keys), deadline)
+            if not ok:
+                missing = [k for k in keys if k not in self._data]
+                raise StoreTimeoutError(f"store.wait timed out; missing keys {missing}")
+
+    def wait_value(self, key: str, predicate, timeout: float | None = None) -> Any:
+        """Block until ``predicate(store[key])`` holds; returns the value."""
+        deadline = timeout if timeout is not None else self.timeout
+        with self._lock:
+            ok = self._lock.wait_for(
+                lambda: key in self._data and predicate(self._data[key]), deadline
+            )
+            if not ok:
+                raise StoreTimeoutError(f"store.wait_value({key!r}) timed out")
+            return self._data[key]
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._data)

@@ -1,0 +1,97 @@
+"""Point-to-point transport between ranks.
+
+``TransportHub`` is the wire: every (src → dst) pair owns a set of tagged
+mailboxes.  Collective algorithms are written purely in terms of
+``send``/``recv``, exactly as they would be over sockets or InfiniBand
+verbs, so the ring/tree/halving-doubling implementations in
+``algorithms.py`` are the real algorithms, not shortcuts through shared
+memory.
+
+The hub also keeps per-rank traffic counters (messages and bytes sent),
+which the tests use to verify algorithmic properties such as "ring
+AllReduce sends ``2*(p-1)`` chunks per rank".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Dict, Hashable, Tuple
+
+
+class TransportTimeoutError(TimeoutError):
+    """A ``recv`` found no matching message before its deadline.
+
+    In real deployments this surfaces as a NCCL/Gloo timeout or hang —
+    the failure mode of Fig. 3 when ranks disagree on what to send.
+    """
+
+
+class TransportClosedError(RuntimeError):
+    """The hub was shut down while a rank was blocked in ``recv``."""
+
+
+class TransportHub:
+    """In-process message fabric connecting ``world_size`` ranks."""
+
+    def __init__(self, world_size: int, default_timeout: float = 30.0):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.default_timeout = default_timeout
+        self._cond = threading.Condition()
+        self._mailboxes: Dict[Tuple[int, int, Hashable], deque] = defaultdict(deque)
+        self._closed = False
+        self.messages_sent = [0] * world_size
+        self.bytes_sent = [0] * world_size
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+
+    def send(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Deposit ``payload`` into the (src, dst, tag) mailbox."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        nbytes = getattr(payload, "nbytes", 0)
+        with self._cond:
+            if self._closed:
+                raise TransportClosedError("transport hub is closed")
+            self._mailboxes[(src, dst, tag)].append(payload)
+            self.messages_sent[src] += 1
+            self.bytes_sent[src] += int(nbytes)
+            self._cond.notify_all()
+
+    def recv(self, dst: int, src: int, tag: Hashable, timeout: float | None = None) -> Any:
+        """Block until a message matching (src, dst, tag) arrives."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        deadline = timeout if timeout is not None else self.default_timeout
+        key = (src, dst, tag)
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: self._closed or bool(self._mailboxes.get(key)), deadline
+            )
+            if self._closed:
+                raise TransportClosedError("transport hub closed during recv")
+            if not ok:
+                raise TransportTimeoutError(
+                    f"rank {dst} timed out waiting for message from rank {src} "
+                    f"tag {tag!r} after {deadline}s (peer rank diverged or hung?)"
+                )
+            return self._mailboxes[key].popleft()
+
+    def close(self) -> None:
+        """Wake every blocked receiver with ``TransportClosedError``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def reset_stats(self) -> None:
+        with self._cond:
+            self.messages_sent = [0] * self.world_size
+            self.bytes_sent = [0] * self.world_size
+
+    def pending_messages(self) -> int:
+        with self._cond:
+            return sum(len(box) for box in self._mailboxes.values())

@@ -1,0 +1,146 @@
+"""Parameter-to-bucket assignment (paper §3.2.2–§3.2.3, §4.2).
+
+DDP communicates gradients in *buckets*: flat buffers that coalesce many
+small gradients into one AllReduce.  The assignment rules reproduced
+here:
+
+* Parameters are allocated to buckets in the **reverse** order of
+  ``model.parameters()``, the paper's approximation of gradient-ready
+  order in the backward pass.
+* A bucket closes when adding the next parameter would exceed
+  ``bucket_cap_bytes`` (the ``bucket_cap_mb`` knob, default 25 MB).  A
+  single parameter larger than the cap gets a bucket of its own.
+* All parameters in a bucket share a device and dtype ("buckets are
+  always created on the same device as the parameters"); a change of
+  either closes the current bucket.
+* An optional smaller first-bucket cap lets communication start earlier
+  (PyTorch uses 1 MB for the first bucket).
+* The assignment is a pure function of (parameter shapes, devices,
+  dtypes, caps) — identical on every rank, which is what keeps AllReduce
+  contents aligned across processes (Fig. 3(a) caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.units import MB
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """One bucket's layout.
+
+    ``param_indices`` are indices into the model's parameter list, in
+    the order their gradients occupy the flat buffer.  ``offsets[i]`` is
+    where parameter ``param_indices[i]`` starts, in elements.
+    """
+
+    index: int
+    param_indices: tuple
+    offsets: tuple
+    sizes: tuple
+    device: str
+    dtype: str
+
+    @property
+    def total_elements(self) -> int:
+        return sum(self.sizes)
+
+    def total_bytes(self, element_size: int = 8) -> int:
+        return self.total_elements * element_size
+
+    def offset_of(self, param_index: int) -> int:
+        return self.offsets[self.param_indices.index(param_index)]
+
+
+def compute_bucket_assignment(
+    params: Sequence,
+    bucket_cap_bytes: int = 25 * MB,
+    first_bucket_cap_bytes: int | None = None,
+) -> List[BucketSpec]:
+    """Assign ``params`` (in ``model.parameters()`` order) to buckets.
+
+    Returns bucket specs ordered by expected readiness: bucket 0 holds
+    the parameters *last* in the model, whose gradients the backward
+    pass produces first.  Reduction must be launched in this order on
+    every rank (paper §3.2.3).
+    """
+    if bucket_cap_bytes <= 0:
+        # The 0 MB setting of the paper's Fig. 7/8: every gradient is
+        # communicated on its own.
+        bucket_cap_bytes = 1  # any positive parameter overflows it
+
+    buckets: List[BucketSpec] = []
+    current: List[int] = []
+    current_bytes = 0
+    current_key: tuple | None = None
+    cap = first_bucket_cap_bytes if first_bucket_cap_bytes is not None else bucket_cap_bytes
+
+    indexed = list(enumerate(params))
+
+    def flush() -> None:
+        nonlocal current, current_bytes, cap
+        if not current:
+            return
+        sizes = tuple(params[i].numel() for i in current)
+        offsets = []
+        offset = 0
+        for size in sizes:
+            offsets.append(offset)
+            offset += size
+        device, dtype = current_key
+        buckets.append(
+            BucketSpec(
+                index=len(buckets),
+                param_indices=tuple(current),
+                offsets=tuple(offsets),
+                sizes=sizes,
+                device=device,
+                dtype=dtype,
+            )
+        )
+        current = []
+        current_bytes = 0
+        cap = bucket_cap_bytes
+
+    for param_index, param in reversed(indexed):
+        key = (getattr(param, "device", "cpu"), str(param.dtype))
+        nbytes = param.numel() * param.element_size()
+        if current and (key != current_key or current_bytes + nbytes > cap):
+            flush()
+        current_key = key
+        current.append(param_index)
+        current_bytes += nbytes
+    flush()
+    return buckets
+
+
+def describe_assignment(buckets: Sequence[BucketSpec]) -> str:
+    """Human-readable bucket table for logging and docs."""
+    lines = ["bucket  params  elements  device  dtype"]
+    for bucket in buckets:
+        lines.append(
+            f"{bucket.index:>6}  {len(bucket.param_indices):>6}  "
+            f"{bucket.total_elements:>8}  {bucket.device:>6}  {bucket.dtype}"
+        )
+    return "\n".join(lines)
+
+
+def validate_assignment(buckets: Sequence[BucketSpec], num_params: int) -> None:
+    """Raise if the assignment is not a partition of all parameters."""
+    seen: Dict[int, int] = {}
+    for bucket in buckets:
+        if len(bucket.param_indices) != len(bucket.offsets):
+            raise ValueError(f"bucket {bucket.index} has inconsistent layout")
+        for param_index in bucket.param_indices:
+            if param_index in seen:
+                raise ValueError(
+                    f"parameter {param_index} assigned to buckets "
+                    f"{seen[param_index]} and {bucket.index}"
+                )
+            seen[param_index] = bucket.index
+    missing = set(range(num_params)) - set(seen)
+    if missing:
+        raise ValueError(f"parameters never bucketed: {sorted(missing)}")

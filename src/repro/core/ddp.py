@@ -1,0 +1,274 @@
+"""``DistributedDataParallel``: the user-facing module (paper §3.1, §4.1).
+
+Non-intrusive: wrap the local model and keep the training loop
+unchanged::
+
+    net = nn.Linear(10, 10)
+    net = DistributedDataParallel(net)         # the only changed line
+    opt = optim.SGD(net.parameters(), lr=0.01)
+
+    out = net(inp)                             # forward (interception)
+    loss_fn(out, exp).backward()               # hooks reduce gradients
+    opt.step()                                 # identical on every rank
+
+Interceptive: the constructor inspects the model (broadcasts state,
+installs hooks); ``forward`` wraps the local model's forward (buffer
+broadcast, unused-parameter discovery); autograd hooks drive bucketed,
+overlapped AllReduce during backward.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional
+
+from repro.autograd.tensor import Tensor
+from repro.comm.distributed import get_context
+from repro.core.bucket import compute_bucket_assignment
+from repro.core.reducer import CommHook, Reducer
+from repro.nn.module import Module
+from repro.utils.units import MB
+
+
+class DistributedDataParallel(Module):
+    """Data parallel training wrapper, mathematically equivalent to
+    local training (identical start state + identical averaged
+    gradients each iteration ⇒ lockstep replicas; paper §3).
+
+    Parameters
+    ----------
+    module:
+        The local model.  All replicas must construct it with identical
+        parameter values *or* rely on the constructor broadcast, which
+        overwrites every rank with rank 0's state.
+    process_group:
+        Group to AllReduce over; defaults to the rank's default group.
+    bucket_cap_mb:
+        Bucket size knob (default 25 MB, the paper's default).  ``0``
+        communicates each gradient individually (Fig. 7/8 baseline).
+    find_unused_parameters:
+        Traverse the autograd graph each forward to proactively mark
+        absent parameters ready (required for models whose graph varies
+        per iteration; costs one extra bitmap AllReduce).
+    broadcast_buffers:
+        Broadcast model buffers (e.g. BatchNorm running stats) from
+        rank 0 before each synchronized forward (paper §4.1).
+    overlap:
+        Launch bucket AllReduce eagerly from hooks (True, the paper's
+        design) or only after the full backward (False; the Fig. 6
+        "no overlap" baseline).
+    first_bucket_cap_mb:
+        Optional smaller cap for the first bucket so communication can
+        start earlier.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        process_group=None,
+        bucket_cap_mb: float = 25.0,
+        find_unused_parameters: bool = False,
+        broadcast_buffers: bool = True,
+        overlap: bool = True,
+        comm_hook: Optional[CommHook] = None,
+        first_bucket_cap_mb: Optional[float] = None,
+        trace_backward_order: bool = False,
+        rebucket_after_iterations: int = 5,
+    ):
+        super().__init__()
+        self.module = module
+        if process_group is None:
+            ctx = get_context()
+            if ctx.default_group is None:
+                raise RuntimeError(
+                    "no default process group; call init_process_group() first "
+                    "or pass process_group="
+                )
+            process_group = ctx.default_group
+        self.process_group = process_group
+        self.broadcast_buffers = broadcast_buffers
+        self.find_unused_parameters = find_unused_parameters
+        self.bucket_cap_mb = bucket_cap_mb
+
+        self._params = list(module.parameters())
+        if not self._params:
+            raise ValueError("DistributedDataParallel requires a model with parameters")
+
+        # (1) Replicas must start from identical state: broadcast
+        # parameters and buffers from rank 0 (Algorithm 1 lines 2-3).
+        self._broadcast_module_state()
+
+        # (2) Bucket assignment in reverse parameters() order.
+        bucket_specs = compute_bucket_assignment(
+            self._params,
+            bucket_cap_bytes=int(bucket_cap_mb * MB),
+            first_bucket_cap_bytes=(
+                int(first_bucket_cap_mb * MB) if first_bucket_cap_mb is not None else None
+            ),
+        )
+
+        # (3) The reducer installs one autograd hook per parameter.
+        tracer = None
+        if trace_backward_order:
+            from repro.core.order_prediction import BackwardOrderTracer
+
+            tracer = BackwardOrderTracer(
+                len(self._params), stable_iterations=min(3, rebucket_after_iterations)
+            )
+        self.reducer = Reducer(
+            self._params,
+            bucket_specs,
+            process_group,
+            find_unused_parameters=find_unused_parameters,
+            overlap=overlap,
+            comm_hook=comm_hook,
+            order_tracer=tracer,
+        )
+        self._rebucket_after = rebucket_after_iterations
+        self._rebucket_done = not trace_backward_order
+
+        self._sync_enabled = True
+        # Whether gradients were reduced in the previous backward, which
+        # decides if buffers must be re-broadcast (paper §4.1).
+        self._did_sync_last_backward = False
+
+    # ------------------------------------------------------------------
+    def _broadcast_module_state(self) -> None:
+        for param in self._params:
+            self.process_group.broadcast(param, src=0)
+        for buffer in self.module.buffers():
+            self.process_group.broadcast(buffer, src=0)
+
+    def _broadcast_buffers_now(self) -> None:
+        for buffer in self.module.buffers():
+            self.process_group.broadcast(buffer, src=0)
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def no_sync(self):
+        """Skip gradient synchronization inside the block (paper §3.2.4).
+
+        Gradients accumulate locally; the first backward outside the
+        block reduces the accumulated values, and locally-recorded
+        parameter usage keeps accumulating in the bitmap meanwhile.
+        """
+        previous = self._sync_enabled
+        self._sync_enabled = False
+        try:
+            yield
+        finally:
+            self._sync_enabled = previous
+
+    @property
+    def will_sync(self) -> bool:
+        return self._sync_enabled
+
+    def _maybe_rebucket_from_trace(self) -> None:
+        """Backward-order prediction (paper §6.2.1): once enough stable
+        traces exist, rank 0 broadcasts its observed order (the authority
+        strategy of §6.2.2) and every rank rebuilds identical buckets."""
+        import numpy as np
+
+        from repro.core.order_prediction import assignment_from_order
+
+        tracer = self.reducer.order_tracer
+        order = np.full(len(self._params), -1, dtype=np.int64)
+        if self.process_group.group_rank == 0 and tracer.is_stable():
+            observed = list(tracer.observed_order())
+            observed += [i for i in range(len(self._params)) if i not in set(observed)]
+            order[...] = observed
+        self.process_group.broadcast(order, src=0)
+        self._rebucket_done = True
+        if order[0] < 0:
+            # Rank 0's traces disagreed across iterations (a dynamic
+            # graph); rebucketing would chase noise, so keep the
+            # reverse-definition layout.
+            return
+        specs = assignment_from_order(
+            self._params, [int(i) for i in order], self.bucket_cap_mb
+        )
+        self.reducer.rebuild_buckets(specs)
+
+    def forward(self, *inputs, **kwargs):
+        if self._sync_enabled:
+            if (
+                not self._rebucket_done
+                and self.reducer.iterations_synced >= self._rebucket_after
+            ):
+                self._maybe_rebucket_from_trace()
+            # Buffers changed since the last synchronized iteration must
+            # be re-aligned to rank 0 before this forward (§4.1).
+            if self.broadcast_buffers and any(True for _ in self.module.buffers()):
+                self._broadcast_buffers_now()
+        out = self.module(*inputs, **kwargs)
+        if self._sync_enabled:
+            self.reducer.prepare_for_backward(_flatten_outputs(out))
+            self._did_sync_last_backward = True
+        else:
+            self._did_sync_last_backward = False
+        return out
+
+    # ------------------------------------------------------------------
+    # transparency: delegate common Module surfaces to the wrapped model
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        return self.module.state_dict()
+
+    def load_state_dict(self, state) -> None:
+        self.module.load_state_dict(state)
+
+    def train(self, mode: bool = True):
+        super().train(mode)
+        return self
+
+    def register_comm_hook(self, hook: Optional[CommHook]) -> None:
+        """Install a gradient-compression communication hook (§6.2.3)."""
+        self.reducer.set_comm_hook(hook)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedDataParallel(world={self.process_group.size}, "
+            f"bucket_cap={self.bucket_cap_mb}MB, "
+            f"buckets={len(self.reducer.buckets)})\n  {self.module!r}"
+        )
+
+    def summary(self) -> str:
+        """Human-readable configuration + bucket layout report."""
+        from repro.core.bucket import describe_assignment
+        from repro.utils.units import format_bytes
+
+        total_params = sum(p.numel() for p in self._params)
+        grad_bytes = sum(p.numel() * p.element_size() for p in self._params)
+        lines = [
+            "DistributedDataParallel summary",
+            f"  world size:          {self.process_group.size}",
+            f"  backend:             {self.process_group.backend}",
+            f"  parameters:          {total_params:,} in {len(self._params)} tensors",
+            f"  gradient volume:     {format_bytes(grad_bytes)} per iteration",
+            f"  bucket cap:          {self.bucket_cap_mb} MB "
+            f"({len(self.reducer.buckets)} buckets)",
+            f"  find unused params:  {self.find_unused_parameters}",
+            f"  broadcast buffers:   {self.broadcast_buffers}",
+            f"  iterations synced:   {self.reducer.iterations_synced}",
+            "",
+            describe_assignment([b.spec for b in self.reducer.buckets]),
+        ]
+        return "\n".join(lines)
+
+
+def _flatten_outputs(out) -> list:
+    """Collect all Tensors from arbitrarily nested forward outputs."""
+    tensors: list = []
+
+    def visit(value) -> None:
+        if isinstance(value, Tensor):
+            tensors.append(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                visit(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                visit(item)
+
+    visit(out)
+    return tensors

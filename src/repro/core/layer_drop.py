@@ -1,0 +1,72 @@
+"""Coordinated layer dropping (paper §6.2.2).
+
+Randomly dropping layers during the forward pass accelerates training,
+but under DDP every process must agree on *which* layers drop, or the
+hook/bucket bookkeeping diverges.  The paper proposes two coordination
+strategies: "using the same random seed or having an authority process
+to broadcast the plan."  Both are implemented here:
+
+* :class:`SeededLayerDrop` — every rank draws the identical plan from a
+  shared seed + iteration counter (no communication).
+* :class:`BroadcastLayerDrop` — rank 0 draws the plan and broadcasts it
+  (one tiny collective per iteration).
+
+Either coordinator yields a boolean keep-mask per iteration; models
+apply it in their forward pass (see ``repro.models.StochasticDepthMLP``
+for the uncoordinated variant).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class SeededLayerDrop:
+    """All ranks derive the same plan from (seed, iteration)."""
+
+    def __init__(self, num_layers: int, drop_prob: float, seed: int = 0):
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        self.num_layers = num_layers
+        self.drop_prob = drop_prob
+        self.seed = seed
+        self.iteration = 0
+
+    def next_plan(self) -> List[bool]:
+        """Keep-mask for the next iteration; True = keep the layer.
+
+        At least one layer is always kept so the model never collapses
+        to the identity.
+        """
+        rng = np.random.default_rng((self.seed, self.iteration))
+        self.iteration += 1
+        keep = rng.random(self.num_layers) >= self.drop_prob
+        if not keep.any():
+            keep[int(rng.integers(0, self.num_layers))] = True
+        return keep.tolist()
+
+
+class BroadcastLayerDrop:
+    """Rank 0 draws the plan and broadcasts it to the group."""
+
+    def __init__(self, process_group, num_layers: int, drop_prob: float, seed: int = 0):
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        self.process_group = process_group
+        self.num_layers = num_layers
+        self.drop_prob = drop_prob
+        self._rng = np.random.default_rng(seed)
+
+    def next_plan(self) -> List[bool]:
+        plan = np.zeros(self.num_layers, dtype=np.int64)
+        if self.process_group.group_rank == 0:
+            keep = self._rng.random(self.num_layers) >= self.drop_prob
+            if not keep.any():
+                keep[int(self._rng.integers(0, self.num_layers))] = True
+            plan[...] = keep
+        self.process_group.broadcast(Tensor(plan), src=0)
+        return [bool(v) for v in plan]

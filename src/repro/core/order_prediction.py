@@ -1,0 +1,118 @@
+"""Gradient order prediction and rebucketing (paper §6.2.1).
+
+DDP's reverse-``parameters()`` bucketing is only an approximation of the
+true backward order.  The paper proposes tracing actual gradient-ready
+order with autograd hooks and rebuilding the parameter-to-bucket mapping
+accordingly — infrequently, because re-allocation is expensive — with
+extra care when traces disagree across iterations.
+
+``BackwardOrderTracer`` implements that proposal: it observes ready
+order for a number of iterations, checks stability, and emits a new
+bucket assignment ordered by observed readiness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.bucket import BucketSpec, compute_bucket_assignment
+from repro.utils.units import MB
+
+
+def assignment_from_order(
+    params: Sequence, order: Sequence[int], bucket_cap_mb: float = 25.0
+) -> List[BucketSpec]:
+    """Bucket layout packing parameters in the given ready order.
+
+    ``order`` lists parameter indices first-to-fire first; indices
+    absent from ``order`` are appended last.  Bucket 0 holds the
+    first-firing parameters, so overlap is maximized for the observed
+    backward order rather than the assumed reverse-definition order.
+    """
+    params_list = list(params)
+    order = list(order)
+    missing = [i for i in range(len(params_list)) if i not in set(order)]
+    order = order + missing
+    if sorted(order) != list(range(len(params_list))):
+        raise ValueError("order must be a permutation of parameter indices")
+    # compute_bucket_assignment buckets in *reverse* input order, so
+    # feed it the reversed trace, then translate positions back.
+    reversed_order = list(reversed(order))
+    reordered = [params_list[i] for i in reversed_order]
+    specs = compute_bucket_assignment(reordered, int(bucket_cap_mb * MB))
+    translated: List[BucketSpec] = []
+    for spec in specs:
+        translated.append(
+            BucketSpec(
+                index=spec.index,
+                param_indices=tuple(reversed_order[i] for i in spec.param_indices),
+                offsets=spec.offsets,
+                sizes=spec.sizes,
+                device=spec.device,
+                dtype=spec.dtype,
+            )
+        )
+    return translated
+
+
+class BackwardOrderTracer:
+    """Observes gradient-ready order and proposes a bucket layout.
+
+    Wire it to a reducer by calling :meth:`record` from each parameter's
+    autograd hook (DDP does this automatically when order tracing is
+    enabled), then call :meth:`suggest_assignment` after a few
+    iterations.
+    """
+
+    def __init__(self, num_params: int, stable_iterations: int = 3):
+        self.num_params = num_params
+        self.stable_iterations = stable_iterations
+        self._current: List[int] = []
+        self._traces: List[tuple] = []
+
+    def record(self, param_index: int) -> None:
+        """Note that ``param_index``'s gradient just became ready."""
+        self._current.append(param_index)
+        if len(self._current) == self.num_params:
+            self._traces.append(tuple(self._current))
+            self._current = []
+
+    def end_iteration(self) -> None:
+        """Close a partial trace (some parameters were unused)."""
+        if self._current:
+            self._traces.append(tuple(self._current))
+            self._current = []
+
+    @property
+    def completed_traces(self) -> int:
+        return len(self._traces)
+
+    def is_stable(self) -> bool:
+        """True when the last ``stable_iterations`` traces agree exactly.
+
+        Disparities among traces mean the model's backward order varies
+        (dynamic graphs); rebucketing on an unstable trace would chase
+        noise, which is the extra complexity the paper warns about.
+        """
+        if len(self._traces) < self.stable_iterations:
+            return False
+        window = self._traces[-self.stable_iterations :]
+        return all(trace == window[0] for trace in window)
+
+    def observed_order(self) -> Optional[tuple]:
+        """The most recent complete trace, or None."""
+        return self._traces[-1] if self._traces else None
+
+    def suggest_assignment(
+        self, params: Sequence, bucket_cap_mb: float = 25.0
+    ) -> Optional[List[BucketSpec]]:
+        """Bucket layout matching the traced backward order.
+
+        Returns ``None`` unless the trace is stable.  The layout packs
+        parameters in *observed ready order*, so bucket 0 fills first in
+        real backward passes — maximizing overlap even when model
+        definition order diverges from execution order.
+        """
+        if not self.is_stable():
+            return None
+        return assignment_from_order(params, self._traces[-1], bucket_cap_mb)

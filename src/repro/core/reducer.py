@@ -1,0 +1,363 @@
+"""The gradient-reduction core (the ``reducer.cpp`` analog; paper §4.2).
+
+Responsibilities, mirroring the paper's four components:
+
+1. **Parameter-to-bucket mapping** — flat per-bucket buffers allocated
+   on the same logical device as their parameters.
+2. **Autograd hooks** — one post-hook per parameter's gradient
+   accumulator.  Each hook copies the fresh gradient into its bucket
+   slot and decrements the bucket's pending count; the hook that drops
+   a count to zero marks the bucket ready.
+3. **Bucket AllReduce** — ready buckets launch *asynchronously* and
+   strictly **in bucket-index order** on every rank; bucket ``i+1``
+   never launches before bucket ``i`` (Fig. 3(a) caveat).  The hook
+   that readies the final bucket blocks until every AllReduce finishes,
+   averages, and writes gradients back (Algorithm 1, lines 17–21).
+4. **Globally unused parameters** — a local bitmap records which
+   parameters produced gradients; one extra AllReduce merges bitmaps so
+   that parameters unused on *every* rank keep their gradients intact
+   (the optimizer-regression caveat of §3.2.3).  The bitmap is kept on
+   CPU and staged through a device-resident copy for backends that
+   reject CPU tensors (§4.2).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.engine import AccumulateGrad
+from repro.autograd.graph import collect_participating_accumulators
+from repro.autograd.tensor import Tensor
+from repro.comm.process_group import ReduceOp
+from repro.core.bucket import BucketSpec, validate_assignment
+from repro.utils.logging import logger
+
+
+class ReducerError(RuntimeError):
+    """Raised on inconsistent reducer state (e.g. unfinished reduction)."""
+
+
+class _Bucket:
+    """Runtime state for one bucket: flat buffer plus readiness counters."""
+
+    def __init__(self, spec: BucketSpec, dtype: np.dtype):
+        self.spec = spec
+        self.flat = np.zeros(spec.total_elements, dtype=dtype)
+        # The tensor wrapper carries the device tag that backends like
+        # NCCL check; it shares storage with ``flat``.
+        self.tensor = Tensor(self.flat, device=spec.device)
+        self.pending = len(spec.param_indices)
+        self.ready = False
+        self.launched = False
+        self.work = None
+
+    def reset(self) -> None:
+        self.pending = len(self.spec.param_indices)
+        self.ready = False
+        self.launched = False
+        self.work = None
+
+
+# Type of an optional communication hook: receives (process_group,
+# flat_bucket_tensor, world_size) and must leave the *averaged* gradient
+# in the bucket when the returned work completes.  See ``comm_hooks``.
+CommHook = Callable[[object, Tensor, int], object]
+
+
+class Reducer:
+    """Per-rank gradient reduction engine.
+
+    Parameters
+    ----------
+    params:
+        The model's parameters in ``model.parameters()`` order (all of
+        them, trainable, shared across iterations).
+    bucket_specs:
+        Deterministic assignment from :func:`compute_bucket_assignment`;
+        must be identical on every rank.
+    process_group:
+        Any object with ``allreduce(tensor, op, async_op)`` and ``size``.
+    find_unused_parameters:
+        Enables the forward-graph traversal and the bitmap AllReduce.
+    overlap:
+        When False, ready buckets are *not* launched eagerly from hooks;
+        all communication happens after the last gradient, reproducing
+        the "no overlap" baselines of Fig. 6.
+    comm_hook:
+        Optional gradient-compression hook (paper §6.2.3).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        bucket_specs: Sequence[BucketSpec],
+        process_group,
+        find_unused_parameters: bool = False,
+        overlap: bool = True,
+        comm_hook: Optional[CommHook] = None,
+        order_tracer=None,
+    ):
+        self.params: List[Tensor] = list(params)
+        validate_assignment(bucket_specs, len(self.params))
+        self.process_group = process_group
+        self.world_size = process_group.size
+        self.find_unused_parameters = find_unused_parameters
+        self.overlap = overlap
+        self.comm_hook = comm_hook
+        # Optional BackwardOrderTracer recording real gradient-ready
+        # order for rebucketing (paper §6.2.1).
+        self.order_tracer = order_tracer
+
+        self.buckets = [
+            _Bucket(spec, self.params[spec.param_indices[0]].dtype if spec.param_indices else np.float64)
+            for spec in bucket_specs
+        ]
+        # param index -> (bucket position, slot position)
+        self._locator = {}
+        for position, bucket in enumerate(self.buckets):
+            for slot, param_index in enumerate(bucket.spec.param_indices):
+                self._locator[param_index] = (position, slot)
+
+        self._accumulator_to_index = {}
+        self._hook_handles = []
+        for index, param in enumerate(self.params):
+            acc = param.accumulator()
+            self._accumulator_to_index[id(acc)] = index
+            handle = acc.register_post_hook(self._autograd_hook)
+            self._hook_handles.append(handle)
+
+        # Persistent across no_sync iterations (paper §3.2.4): cleared
+        # only when a bitmap AllReduce consumes it.
+        self._local_used = np.zeros(len(self.params), dtype=np.int32)
+
+        self._expect_hooks = False
+        self._next_bucket = 0
+        self._buckets_finished = 0
+        self._finalized = True
+        self._lock = threading.Lock()
+
+        # Introspection counters used by tests and benchmarks.
+        self.iterations_synced = 0
+        self.rebuilt_bucket_count = 0
+        # Wall-clock phase stats for the previous synchronized
+        # iteration — a real-run analog of the paper's Fig. 6 breakdown.
+        self.last_iteration_stats: Dict[str, float] = {}
+        self._t_prepare = 0.0
+        self._t_first_grad: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # iteration lifecycle
+    # ------------------------------------------------------------------
+    def prepare_for_backward(self, outputs: Sequence[Tensor]) -> None:
+        """Arm the reducer for the next backward pass (Algorithm 1 line 10).
+
+        With ``find_unused_parameters`` the autograd graph is traversed
+        from ``outputs`` and parameters outside it are marked ready
+        immediately, contributing zeros, so their absence cannot hang
+        the bucket (Fig. 3(b)).
+        """
+        if not self._finalized:
+            raise ReducerError(
+                "Expected to have finished gradient reduction in the prior "
+                "iteration before starting a new one. This usually means some "
+                "parameters did not receive gradients during backward. Enable "
+                "find_unused_parameters=True if your model's graph changes "
+                "between iterations."
+            )
+        for bucket in self.buckets:
+            bucket.reset()
+        self._next_bucket = 0
+        self._buckets_finished = 0
+        self._finalized = False
+        self._expect_hooks = True
+        self._t_prepare = time.perf_counter()
+        self._t_first_grad = None
+
+        if self.find_unused_parameters:
+            participating = collect_participating_accumulators(outputs)
+            participating_ids = {id(acc) for acc in participating}
+            for index, param in enumerate(self.params):
+                if id(param.accumulator()) not in participating_ids:
+                    self._mark_ready(index, unused=True)
+
+    def _autograd_hook(self, accumulator: AccumulateGrad) -> None:
+        """Fired by the engine after a parameter's gradient is written."""
+        index = self._accumulator_to_index.get(id(accumulator))
+        if index is None:  # a hook left over from a dropped parameter set
+            return
+        # Participation is recorded even in no_sync iterations; the next
+        # bitmap AllReduce consumes the accumulated record (§3.2.4).
+        self._local_used[index] = 1
+        if not self._expect_hooks:
+            return
+        if self.order_tracer is not None:
+            self.order_tracer.record(index)
+        if self._t_first_grad is None:
+            self._t_first_grad = time.perf_counter()
+        self._mark_ready(index, unused=False)
+
+    def _mark_ready(self, param_index: int, unused: bool) -> None:
+        position, slot = self._locator[param_index]
+        bucket = self.buckets[position]
+        spec = bucket.spec
+        offset = spec.offsets[slot]
+        size = spec.sizes[slot]
+        param = self.params[param_index]
+        if unused:
+            # Unused parameters contribute zeros to the reduced sum.
+            bucket.flat[offset : offset + size] = 0.0
+        else:
+            if param.grad is None:
+                raise ReducerError(
+                    f"hook fired for parameter {param_index} but .grad is None"
+                )
+            bucket.flat[offset : offset + size] = param.grad.data.reshape(-1)
+        if bucket.pending <= 0:
+            raise ReducerError(
+                f"bucket {spec.index} over-counted ready parameters; a "
+                f"parameter was marked ready twice in one iteration"
+            )
+        bucket.pending -= 1
+        if bucket.pending == 0:
+            bucket.ready = True
+            if self.overlap:
+                self._launch_ready_buckets_in_order()
+            self._buckets_finished += 1
+            if self._buckets_finished == len(self.buckets):
+                if not self.overlap:
+                    self._launch_ready_buckets_in_order()
+                self._finalize_backward()
+
+    def _launch_ready_buckets_in_order(self) -> None:
+        """Launch AllReduce on every ready bucket at the order frontier.
+
+        Buckets may become ready out of order; communication still obeys
+        bucket-index order so contents match across ranks (Fig. 3(a)).
+        """
+        while self._next_bucket < len(self.buckets):
+            bucket = self.buckets[self._next_bucket]
+            if not bucket.ready:
+                return
+            self._launch(bucket)
+            self._next_bucket += 1
+
+    def _launch(self, bucket: _Bucket) -> None:
+        if bucket.launched:
+            return
+        bucket.launched = True
+        logger.debug(
+            "launch allreduce bucket %d (%d elements)",
+            bucket.spec.index,
+            bucket.spec.total_elements,
+        )
+        if self.comm_hook is not None:
+            bucket.work = self.comm_hook(self.process_group, bucket.tensor, self.world_size)
+        else:
+            bucket.work = self.process_group.allreduce(
+                bucket.tensor, ReduceOp.SUM, async_op=True
+            )
+
+    def _finalize_backward(self) -> None:
+        """Wait for communication, average, and write gradients back.
+
+        Runs inside the autograd hook that readied the final bucket
+        (Algorithm 1 line 21) — the engine thread blocks here while the
+        process-group worker thread drains the queued AllReduces.
+        """
+        t_all_grads = time.perf_counter()
+        globally_used = None
+        if self.find_unused_parameters:
+            globally_used = self._allreduce_used_bitmap()
+
+        for bucket in self.buckets:
+            if bucket.work is not None:
+                bucket.work.wait()
+            if self.comm_hook is None:
+                # Average: the collective summed gradients across ranks.
+                bucket.flat /= self.world_size
+            for slot, param_index in enumerate(bucket.spec.param_indices):
+                if globally_used is not None and not globally_used[param_index]:
+                    # Globally unused gradients must stay intact (§3.2.3).
+                    continue
+                param = self.params[param_index]
+                offset = bucket.spec.offsets[slot]
+                size = bucket.spec.sizes[slot]
+                value = bucket.flat[offset : offset + size].reshape(param.shape)
+                if param.grad is None:
+                    param.grad = Tensor(value.copy())
+                else:
+                    param.grad.data[...] = value
+        self._expect_hooks = False
+        self._finalized = True
+        self.iterations_synced += 1
+        if self.order_tracer is not None:
+            # Close partial traces (some parameters may not have fired).
+            self.order_tracer.end_iteration()
+        t_done = time.perf_counter()
+        self.last_iteration_stats = {
+            # forward + any pre-backward work since prepare()
+            "prepare_to_first_grad": (self._t_first_grad or t_all_grads) - self._t_prepare,
+            # local gradient computation window
+            "backward_compute": t_all_grads - (self._t_first_grad or t_all_grads),
+            # communication not hidden by backward compute
+            "comm_exposed_wait": t_done - t_all_grads,
+            "total": t_done - self._t_prepare,
+        }
+        logger.debug(
+            "iteration %d finalized: exposed comm wait %.3f ms",
+            self.iterations_synced,
+            self.last_iteration_stats["comm_exposed_wait"] * 1e3,
+        )
+
+    def _allreduce_used_bitmap(self) -> np.ndarray:
+        """Merge per-rank usage bitmaps; returns the global bitmap.
+
+        The CPU bitmap is staged through a tensor tagged with the first
+        parameter's device when the backend rejects CPU tensors — the
+        paper's ProcessGroupNCCL workaround (§4.2).
+        """
+        bitmap = self._local_used.astype(np.int32, copy=True)
+        if getattr(self.process_group, "supports_cpu_tensors", True):
+            staging = Tensor(bitmap, device="cpu")
+        else:
+            device = getattr(self.params[0], "device", "cpu")
+            staging = Tensor(bitmap, device=device)
+        work = self.process_group.allreduce(staging, ReduceOp.SUM, async_op=True)
+        work.wait()
+        # The communication consumed the accumulated local record.
+        self._local_used[...] = 0
+        return staging.data > 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def set_comm_hook(self, hook: Optional[CommHook]) -> None:
+        """Install or clear a gradient-compression hook (§6.2.3)."""
+        self.comm_hook = hook
+
+    def rebuild_buckets(self, bucket_specs: Sequence[BucketSpec]) -> None:
+        """Swap in a new bucket layout (order-prediction support, §6.2.1)."""
+        if not self._finalized:
+            raise ReducerError("cannot rebuild buckets mid-iteration")
+        validate_assignment(bucket_specs, len(self.params))
+        dtype = self.params[0].dtype if self.params else np.float64
+        self.buckets = [_Bucket(spec, dtype) for spec in bucket_specs]
+        self._locator = {}
+        for position, bucket in enumerate(self.buckets):
+            for slot, param_index in enumerate(bucket.spec.param_indices):
+                self._locator[param_index] = (position, slot)
+        self.rebuilt_bucket_count += 1
+
+    def detach_hooks(self) -> None:
+        """Remove all autograd hooks (used when tearing DDP down)."""
+        for handle in self._hook_handles:
+            handle()
+        self._hook_handles.clear()
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized

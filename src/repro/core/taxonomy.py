@@ -1,0 +1,75 @@
+"""Table 1: categorization of distributed training solutions.
+
+Six schemes: S̲ynchronous-update vs A̲synchronous-update,
+C̲ross-iteration vs I̲ntra-iteration, D̲ata-parallel vs M̲odel-parallel.
+Reproduced verbatim from the paper so the benchmark harness can print
+the table alongside the measured results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TrainingSolution:
+    name: str
+    synchronous: bool
+    asynchronous: bool
+    cross_iteration: bool
+    intra_iteration: bool
+    data_parallel: bool
+    model_parallel: bool
+
+    def schemes(self) -> str:
+        flags = [
+            ("S", self.synchronous),
+            ("A", self.asynchronous),
+            ("C", self.cross_iteration),
+            ("I", self.intra_iteration),
+            ("D", self.data_parallel),
+            ("M", self.model_parallel),
+        ]
+        return "".join(letter for letter, present in flags if present)
+
+
+# Rows exactly as in the paper's Table 1.
+TRAINING_SOLUTIONS: List[TrainingSolution] = [
+    TrainingSolution("PT DDP", True, False, False, True, True, False),
+    TrainingSolution("PT RPC", True, True, True, True, False, True),
+    TrainingSolution("TF MultiWorkerMirrored", True, False, False, True, True, False),
+    TrainingSolution("TF ParameterServer", False, True, True, False, True, True),
+    TrainingSolution("Mesh TensorFlow", True, False, False, True, True, True),
+    TrainingSolution("GPipe", True, False, True, False, False, True),
+    TrainingSolution("Horovod", True, False, False, True, True, False),
+    TrainingSolution("GradientFlow", True, False, False, True, True, False),
+    TrainingSolution("SlowMo", False, True, True, False, True, False),
+    TrainingSolution("PipeDream", True, True, True, False, True, True),
+    TrainingSolution("ZeRO", True, False, False, True, True, True),
+    TrainingSolution("Parallax", True, True, False, True, True, True),
+    TrainingSolution("ByteScheduler", True, False, True, True, True, False),
+    TrainingSolution("TicTac", True, False, True, True, True, False),
+    TrainingSolution("PACE", True, False, False, True, True, False),
+]
+
+_COLUMNS = ("S", "A", "C", "I", "D", "M")
+
+
+def render_table1() -> str:
+    """The paper's Table 1 as fixed-width text."""
+    width = max(len(s.name) for s in TRAINING_SOLUTIONS)
+    header = "Scheme".ljust(width) + "  " + "  ".join(_COLUMNS)
+    lines = [header, "-" * len(header)]
+    for solution in TRAINING_SOLUTIONS:
+        marks = solution.schemes()
+        cells = "  ".join("x" if c in marks else " " for c in _COLUMNS)
+        lines.append(solution.name.ljust(width) + "  " + cells)
+    return "\n".join(lines)
+
+
+def solutions_supporting(scheme: str) -> List[str]:
+    """Names of solutions supporting a scheme letter (S/A/C/I/D/M)."""
+    if scheme not in _COLUMNS:
+        raise ValueError(f"scheme must be one of {_COLUMNS}")
+    return [s.name for s in TRAINING_SOLUTIONS if scheme in s.schemes()]

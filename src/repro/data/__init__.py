@@ -1,0 +1,27 @@
+"""Datasets, samplers, and loading.
+
+``DistributedSampler`` partitions a dataset across ranks — what keeps
+model replicas seeing disjoint input shards, the other half of data
+parallel training besides gradient synchronization.
+"""
+
+from repro.data.dataset import Dataset, TensorDataset
+from repro.data.sampler import DistributedSampler, SequentialSampler, RandomSampler
+from repro.data.dataloader import DataLoader
+from repro.data.synthetic import (
+    make_regression,
+    make_classification,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "DistributedSampler",
+    "SequentialSampler",
+    "RandomSampler",
+    "DataLoader",
+    "make_regression",
+    "make_classification",
+    "synthetic_mnist",
+]

@@ -1,0 +1,90 @@
+"""Index samplers, including the distributed shard sampler."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sized
+
+import numpy as np
+
+
+class SequentialSampler:
+    def __init__(self, data_source: Sized):
+        self.data_source = data_source
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self.data_source)))
+
+    def __len__(self) -> int:
+        return len(self.data_source)
+
+
+class RandomSampler:
+    """Shuffles with a per-instance seeded generator (epoch-stable)."""
+
+    def __init__(self, data_source: Sized, seed: int = 0):
+        self.data_source = data_source
+        self.seed = seed
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def __iter__(self) -> Iterator[int]:
+        rng = np.random.default_rng((self.seed, self.epoch))
+        return iter(rng.permutation(len(self.data_source)).tolist())
+
+    def __len__(self) -> int:
+        return len(self.data_source)
+
+
+class DistributedSampler:
+    """Partitions indices across ranks, one disjoint shard each.
+
+    All ranks shuffle with the same (seed, epoch) so their shards are
+    disjoint and jointly cover the dataset; ``set_epoch`` reshuffles per
+    epoch exactly as in ``torch.utils.data.DistributedSampler``.  The
+    dataset is padded by wrapping around so every rank sees the same
+    number of samples — a DDP requirement, since a rank with fewer
+    batches would leave the others hanging in AllReduce.
+    """
+
+    def __init__(
+        self,
+        data_source: Sized,
+        num_replicas: int,
+        rank: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if not 0 <= rank < num_replicas:
+            raise ValueError(f"rank {rank} out of range for {num_replicas} replicas")
+        self.data_source = data_source
+        self.num_replicas = num_replicas
+        self.rank = rank
+        self.shuffle = shuffle
+        self.seed = seed
+        self.epoch = 0
+        self.num_samples = -(-len(data_source) // num_replicas)  # ceil
+        self.total_size = self.num_samples * num_replicas
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def __iter__(self) -> Iterator[int]:
+        n = len(self.data_source)
+        if self.shuffle:
+            rng = np.random.default_rng((self.seed, self.epoch))
+            indices = rng.permutation(n).tolist()
+        else:
+            indices = list(range(n))
+        # Pad by wrap-around (possibly several times for tiny datasets)
+        # so the split is even.
+        if self.total_size > n:
+            repeats = -(-self.total_size // n)
+            indices = (indices * repeats)[: self.total_size]
+        shard = indices[self.rank : self.total_size : self.num_replicas]
+        assert len(shard) == self.num_samples
+        return iter(shard)
+
+    def __len__(self) -> int:
+        return self.num_samples

@@ -1,0 +1,16 @@
+"""Programmatic access to every paper experiment.
+
+Each function returns the rows of one paper table/figure; the benchmark
+harness (``benchmarks/``) wraps these with timing and shape assertions,
+and ``python -m repro.experiments <name>`` prints any of them from the
+command line:
+
+    python -m repro.experiments list
+    python -m repro.experiments fig09
+    python -m repro.experiments table1
+"""
+
+from repro.experiments import ablations, figures
+from repro.experiments.tables import render_rows
+
+__all__ = ["figures", "ablations", "render_rows"]

@@ -1,0 +1,212 @@
+"""CLI: print any paper experiment's regenerated rows.
+
+    python -m repro.experiments list
+    python -m repro.experiments fig02a
+    python -m repro.experiments fig09
+    python -m repro.experiments table1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.taxonomy import render_table1
+from repro.experiments import ablations, figures
+from repro.experiments.tables import render_rows
+
+
+def _fig02a():
+    return render_rows(
+        "Fig 2(a): NCCL AllReduce sweep (60M params)",
+        ["params_per_op", "total_s"],
+        figures.fig02_allreduce_sweep("nccl"),
+    )
+
+
+def _fig02b():
+    return render_rows(
+        "Fig 2(b): Gloo AllReduce sweep (60M params)",
+        ["params_per_op", "total_s"],
+        figures.fig02_allreduce_sweep("gloo"),
+    )
+
+
+def _fig02c():
+    return render_rows(
+        "Fig 2(c): ResNet152 GPU backward curve",
+        ["ready_params_M", "median_s", "min_s", "max_s"],
+        figures.fig02_backward_curve("gpu"),
+    )
+
+
+def _fig02d():
+    return render_rows(
+        "Fig 2(d): ResNet152 CPU backward curve",
+        ["ready_params_M", "median_s", "min_s", "max_s"],
+        figures.fig02_backward_curve("cpu"),
+    )
+
+
+def _fig05():
+    from repro.simnet import dgx1_topology
+
+    return dgx1_topology().render()
+
+
+def _fig06():
+    return render_rows(
+        "Fig 6: latency breakdown at 32 GPUs (no-overlap total = 1)",
+        ["model", "backend", "fwd", "bwd_comp", "comm_exposed", "opt",
+         "overlap_total", "comm_total", "speedup"],
+        figures.fig06_breakdown(),
+    )
+
+
+def _bucket(world: int):
+    rows, best = figures.bucket_size_sweep(world)
+    table = render_rows(
+        f"Figs 7/8: latency vs bucket size at {world} GPUs",
+        ["model", "backend", "bucket_MB", "median_s", "p25_s", "p75_s"],
+        rows,
+    )
+    return table + f"\nbest: {best}"
+
+
+def _fig09():
+    results = figures.fig09_scalability()
+    rows = [
+        (model, backend, world, latency)
+        for (model, backend), latencies in results.items()
+        for world, latency in zip(figures.SCALABILITY_WORLDS, latencies)
+    ]
+    return render_rows(
+        "Fig 9: median latency vs number of GPUs",
+        ["model", "backend", "gpus", "median_s"],
+        rows,
+    )
+
+
+def _fig10():
+    results = figures.fig10_skip_sync()
+    rows = [
+        (backend, f"sync_every_{cadence}", world, latency)
+        for (backend, cadence), latencies in results.items()
+        for world, latency in zip(figures.SCALABILITY_WORLDS, latencies)
+    ]
+    return render_rows(
+        "Fig 10: average latency, skipping gradient sync (ResNet50)",
+        ["backend", "cadence", "gpus", "avg_s"],
+        rows,
+    )
+
+
+def _fig12():
+    results = figures.fig12_round_robin()
+    rows = [
+        (model, backend, f"rr{k}", world, latency)
+        for (model, backend, k), latencies in results.items()
+        for world, latency in zip(figures.ROUND_ROBIN_WORLDS, latencies)
+    ]
+    return render_rows(
+        "Fig 12: round-robin process groups",
+        ["model", "backend", "groups", "gpus", "median_s"],
+        rows,
+    )
+
+
+def _ablation_design():
+    return render_rows(
+        "Ablation: naive -> bucketed -> overlapped (ResNet50)",
+        ["backend", "gpus", "variant", "median_s", "vs_naive"],
+        ablations.design_progression(),
+    )
+
+
+def _ablation_compression():
+    return render_rows(
+        "Ablation: compression hooks (projected, 32 GPUs)",
+        ["model", "hook", "wire_MB", "allreduce_s", "volume"],
+        ablations.compression_projection(),
+    )
+
+
+def _ablation_memory():
+    from repro.simulation.memory import memory_report
+    from repro.simulation.models import bert_profile, resnet50_profile
+
+    rows = []
+    for model in (resnet50_profile(), bert_profile()):
+        for world in (8, 64, 256):
+            for row in memory_report(model, world):
+                rows.append((model.name, world) + row)
+    return render_rows(
+        "Ablation: per-GPU memory (MB), DDP vs ZeRO stages (Adam, fp32)",
+        ["model", "gpus", "strategy", "params", "grads", "opt", "act", "total"],
+        rows,
+    )
+
+
+def _ablation_architectures():
+    return render_rows(
+        "Ablation: gradient exchange architectures (ResNet50 gradients)",
+        ["workers", "flat_ring_s", "hierarchical_s", "param_server_s", "ps_vs_ring"],
+        ablations.architecture_comparison(),
+    )
+
+
+def _ablation_order():
+    matched, mismatched, traced = ablations.order_prediction()
+    return render_rows(
+        "Ablation: gradient order prediction (ResNet50, 32 GPUs, NCCL)",
+        ["policy", "median_s"],
+        [("matched order", matched),
+         ("mismatched + reverse-order buckets", mismatched),
+         ("mismatched + traced rebucketing", traced)],
+    )
+
+
+EXPERIMENTS = {
+    "fig02a": _fig02a,
+    "fig02b": _fig02b,
+    "fig02c": _fig02c,
+    "fig02d": _fig02d,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": lambda: _bucket(16),
+    "fig08": lambda: _bucket(32),
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig12": _fig12,
+    "table1": render_table1,
+    "ablation-design": _ablation_design,
+    "ablation-compression": _ablation_compression,
+    "ablation-order": _ablation_order,
+    "ablation-architectures": _ablation_architectures,
+    "ablation-memory": _ablation_memory,
+}
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("list", "--help", "-h"):
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all    (run everything, separated by headers)")
+        print("\nusage: python -m repro.experiments <name>")
+        return 0
+    name = argv[0]
+    if name == "all":
+        for key, fn in EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
+            print(fn())
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Fixed-width table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)
+
+
+def render_rows(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a title + header + rows as fixed-width text."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Small, real, trainable models used by examples and tests.
+
+These complement the large *profiles* in ``repro.simulation.models``:
+profiles drive the timing benchmarks; these train for real on the
+autograd engine, at laptop scale.
+"""
+
+from repro.models.mlp import MLP
+from repro.models.convnet import ConvNet
+from repro.models.transformer import TinyTransformer
+from repro.models.dynamic import BranchedModel, StochasticDepthMLP
+
+__all__ = ["MLP", "ConvNet", "TinyTransformer", "BranchedModel", "StochasticDepthMLP"]

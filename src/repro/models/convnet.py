@@ -1,0 +1,36 @@
+"""A small CNN for the synthetic-MNIST convergence experiments (Fig. 11).
+
+The paper "uses the MNIST dataset to train the ResNet"; at this
+library's scale a compact BatchNorm'd CNN plays that role — it has the
+same structural ingredients (convolutions, batch-norm buffers, a linear
+head) while training in seconds.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+
+
+class ConvNet(nn.Module):
+    def __init__(self, num_classes: int = 10, channels: int = 8, image_size: int = 28):
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv2d(1, channels, kernel_size=3, padding=1),
+            nn.BatchNorm2d(channels),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(channels, channels * 2, kernel_size=3, padding=1),
+            nn.BatchNorm2d(channels * 2),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        spatial = image_size // 4
+        self.head = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(channels * 2 * spatial * spatial, 64),
+            nn.ReLU(),
+            nn.Linear(64, num_classes),
+        )
+
+    def forward(self, x):
+        return self.head(self.features(x))

@@ -1,0 +1,67 @@
+"""Models with iteration-dependent sub-graphs.
+
+These exercise the paper's "pluralized graphs" caveat (Fig. 3(b)): a
+forward pass may touch only a subset of parameters, and the subset can
+differ across iterations *and across ranks*.  ``BranchedModel`` selects
+a branch explicitly; ``stochastic_depth`` mode drops blocks at random —
+the layer-dropping technique of §6.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import nn
+from repro.utils.seed import get_rng
+
+
+class BranchedModel(nn.Module):
+    """Shared trunk with selectable expert branches.
+
+    ``forward(x, branch=i)`` routes through one branch, leaving the
+    others unused for that iteration — they must keep their gradients
+    intact unless some peer rank used them.
+    """
+
+    def __init__(self, in_features: int = 8, hidden: int = 16, num_classes: int = 4,
+                 num_branches: int = 3):
+        super().__init__()
+        self.trunk = nn.Sequential(nn.Linear(in_features, hidden), nn.ReLU())
+        self.branches = nn.ModuleList(
+            [nn.Linear(hidden, num_classes) for _ in range(num_branches)]
+        )
+
+    def forward(self, x, branch: int = 0):
+        if not 0 <= branch < len(self.branches):
+            raise ValueError(f"branch {branch} out of range")
+        return self.branches[branch](self.trunk(x))
+
+
+class StochasticDepthMLP(nn.Module):
+    """An MLP whose residual blocks drop out randomly during training.
+
+    Skipped blocks do not appear in the autograd graph, so their
+    parameters fire no hooks — with the same seed on every rank, all
+    ranks skip the same blocks, which is the coordination strategy
+    §6.2.2 suggests ("using the same random seed").
+    """
+
+    def __init__(self, features: int = 16, num_blocks: int = 4, drop_prob: float = 0.3,
+                 num_classes: int = 4):
+        super().__init__()
+        self.blocks = nn.ModuleList(
+            [nn.Linear(features, features) for _ in range(num_blocks)]
+        )
+        self.head = nn.Linear(features, num_classes)
+        self.drop_prob = drop_prob
+        self.last_kept: Optional[list] = None
+
+    def forward(self, x):
+        kept = []
+        for index, block in enumerate(self.blocks):
+            drop = self.training and get_rng().random() < self.drop_prob
+            if not drop:
+                x = x + block(x).relu()
+                kept.append(index)
+        self.last_kept = kept
+        return self.head(x)

@@ -1,0 +1,37 @@
+"""Multi-layer perceptron."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import nn
+
+
+class MLP(nn.Module):
+    """ReLU MLP with optional batch normalization.
+
+    ``batch_norm=True`` adds buffers, exercising DDP's rank-0 buffer
+    broadcast path.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        batch_norm: bool = False,
+    ):
+        super().__init__()
+        layers = []
+        previous = in_features
+        for width in hidden:
+            layers.append(nn.Linear(previous, width))
+            if batch_norm:
+                layers.append(nn.BatchNorm1d(width))
+            layers.append(nn.ReLU())
+            previous = width
+        layers.append(nn.Linear(previous, out_features))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x):
+        return self.body(x)

@@ -1,0 +1,47 @@
+"""Neural-network layers built on the autograd substrate.
+
+The ``Module`` system reproduces the PyTorch property DDP depends on:
+parameters register in a deterministic, definition order, and
+``model.parameters()`` yields them in that order on every rank — the
+basis for DDP's reverse-order bucketing (paper §3.2.3).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d, MaxPool2d, AvgPool2d, Flatten
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.nn.activation import ReLU, Tanh, Sigmoid, GELU
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.loss import MSELoss, CrossEntropyLoss, NLLLoss
+from repro.nn.embedding import Embedding
+from repro.nn.dropout import Dropout
+from repro.nn.extra import Identity, Softmax, GroupNorm
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "GELU",
+    "Sequential",
+    "ModuleList",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "NLLLoss",
+    "Embedding",
+    "Dropout",
+    "Identity",
+    "Softmax",
+    "GroupNorm",
+    "init",
+]

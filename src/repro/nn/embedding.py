@@ -1,0 +1,29 @@
+"""Token embedding lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Integer-index row lookup into a learnable table.
+
+    The backward pass scatter-adds into the table, so repeated indices
+    within a batch accumulate — the sparse-gradient pattern the paper's
+    related work (Parallax) calls out for NLP models.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(np.empty((num_embeddings, embedding_dim)))
+        init.normal_(self.weight, 0.0, 1.0)
+
+    def forward(self, indices) -> Tensor:
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        return self.weight[idx.astype(np.int64)]

@@ -1,0 +1,61 @@
+"""Additional layers: Identity, Softmax, GroupNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class Identity(Module):
+    """Pass-through (useful as a configurable no-op slot)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softmax(x, axis=self.axis)
+
+
+class GroupNorm(Module):
+    """Normalizes channel groups of (N, C, *spatial) inputs.
+
+    Unlike BatchNorm it keeps no running statistics (no buffers), so it
+    is insensitive to per-rank batch composition — a property sometimes
+    preferred in data parallel training precisely because it removes
+    the buffer-broadcast coupling.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"num_channels {num_channels} not divisible by num_groups {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels))
+        self.bias = Parameter(np.zeros(num_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c = x.shape[0], x.shape[1]
+        if c != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {c}")
+        spatial = x.shape[2:]
+        grouped = x.reshape(n, self.num_groups, -1)
+        mean = ops.mean(grouped, axis=-1, keepdims=True)
+        centered = grouped - mean
+        var = ops.mean(centered * centered, axis=-1, keepdims=True)
+        normalized = centered * (var + self.eps) ** -0.5
+        out = normalized.reshape(n, c, *spatial)
+        shape = (1, c) + (1,) * len(spatial)
+        return out * self.weight.reshape(shape) + self.bias.reshape(shape)

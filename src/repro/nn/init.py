@@ -1,0 +1,71 @@
+"""Weight initialization schemes.
+
+All draws go through the thread-local seeded generator so that every rank
+calling ``manual_seed(k)`` before model construction builds *identical*
+initial parameters — one of DDP's two correctness preconditions (the
+other being identical gradients; paper §3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.utils.seed import get_rng
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0) -> Tensor:
+    tensor.data[...] = get_rng().uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
+    tensor.data[...] = get_rng().normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 0.0
+    return tensor
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 1.0
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    tensor.data[...] = value
+    return tensor
+
+
+def _fan_in_out(tensor: Tensor) -> tuple[int, int]:
+    shape = tensor.shape
+    if len(shape) < 2:
+        raise ValueError("fan in/out undefined for tensors with fewer than 2 dims")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform_(tensor: Tensor, a: float = math.sqrt(5)) -> Tensor:
+    """He-style uniform init, matching ``torch.nn.Linear``'s default."""
+    fan_in, _ = _fan_in_out(tensor)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return uniform_(tensor, -bound, bound)
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fan_in_out(tensor)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound)
+
+
+def xavier_normal_(tensor: Tensor, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fan_in_out(tensor)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return normal_(tensor, 0.0, std)

@@ -1,0 +1,23 @@
+"""Optimizers and learning-rate schedulers.
+
+Every rank in DDP runs an *independent* optimizer instance; the paper's
+correctness argument (§3) is that identical start states plus identical
+averaged gradients keep independent optimizers in lockstep.  Momentum SGD
+here is also what exposes the parameter-averaging divergence discussed in
+§2.2 and reproduced in ``repro.core.param_avg``.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import StepLR, CosineAnnealingLR, LambdaLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "CosineAnnealingLR",
+    "LambdaLR",
+]

@@ -1,0 +1,74 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; L2 is coupled (added to the gradient).
+
+    Adam's second-moment state makes it sensitive to whether a gradient
+    "participated" in an iteration — the exact regression the paper's
+    globally-unused-parameter machinery exists to avoid (§3.2.3): DDP
+    must not write zero gradients into absent parameters, or optimizers
+    like this one will decay their moments incorrectly.
+    """
+
+    _decoupled_weight_decay = False
+
+    def __init__(
+        self,
+        params: Iterable,
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"invalid betas {betas}")
+        defaults = {"lr": lr, "betas": betas, "eps": eps, "weight_decay": weight_decay}
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad.data
+                if weight_decay and not self._decoupled_weight_decay:
+                    grad = grad + weight_decay * param.data
+                state = self.state_for(param)
+                if "step" not in state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(param.data)
+                    state["exp_avg_sq"] = np.zeros_like(param.data)
+                state["step"] += 1
+                step = state["step"]
+                exp_avg, exp_avg_sq = state["exp_avg"], state["exp_avg_sq"]
+                exp_avg *= beta1
+                exp_avg += (1 - beta1) * grad
+                exp_avg_sq *= beta2
+                exp_avg_sq += (1 - beta2) * grad * grad
+                bias1 = 1 - beta1**step
+                bias2 = 1 - beta2**step
+                denom = np.sqrt(exp_avg_sq / bias2) + eps
+                update = lr * (exp_avg / bias1) / denom
+                if weight_decay and self._decoupled_weight_decay:
+                    param.data -= lr * weight_decay * param.data
+                param.data -= update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    _decoupled_weight_decay = True

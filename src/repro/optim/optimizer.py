@@ -1,0 +1,62 @@
+"""Optimizer base class with parameter groups and per-parameter state."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Holds parameter groups and per-parameter state dictionaries.
+
+    Parameters may be passed as an iterable of tensors or of group dicts
+    (``{"params": [...], "lr": 0.1}``), as in PyTorch.
+    """
+
+    def __init__(self, params: Iterable, defaults: Dict):
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        self.state: Dict[int, Dict] = {}
+        self._params_by_id: Dict[int, Tensor] = {}
+
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            groups = params
+        else:
+            groups = [{"params": params}]
+        for group in groups:
+            self.add_param_group(group)
+
+    def add_param_group(self, group: Dict) -> None:
+        group = dict(group)
+        group_params = list(group["params"])
+        if not group_params:
+            raise ValueError("parameter group is empty")
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        for param in group_params:
+            if not isinstance(param, Tensor):
+                raise TypeError(f"optimizer parameters must be Tensors, got {type(param)}")
+            if id(param) in self._params_by_id:
+                raise ValueError("a parameter appears in more than one group")
+            self._params_by_id[id(param)] = param
+        group["params"] = group_params
+        self.param_groups.append(group)
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.grad = None
+
+    def state_for(self, param: Tensor) -> Dict:
+        """Per-parameter mutable state dict (momentum buffers etc.)."""
+        return self.state.setdefault(id(param), {})
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(groups={len(self.param_groups)})"

@@ -1,0 +1,63 @@
+"""Stochastic gradient descent with momentum, weight decay, nesterov."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Matches ``torch.optim.SGD`` update semantics.
+
+    With ``momentum > 0`` the buffer ``v`` evolves as
+    ``v <- mu * v + g`` and parameters as ``p <- p - lr * v`` (or the
+    nesterov variant).  The buffer depends on the entire gradient
+    history, which is why parameter averaging diverges from gradient
+    averaging (paper §2.2): averaged parameters do not imply averaged
+    momentum buffers.
+    """
+
+    def __init__(
+        self,
+        params: Iterable,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if lr < 0.0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if nesterov and momentum <= 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        defaults = {
+            "lr": lr,
+            "momentum": momentum,
+            "weight_decay": weight_decay,
+            "nesterov": nesterov,
+        }
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad.data
+                if weight_decay:
+                    grad = grad + weight_decay * param.data
+                if momentum:
+                    state = self.state_for(param)
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                        state["momentum_buffer"] = buf
+                    else:
+                        buf *= momentum
+                        buf += grad
+                    grad = grad + momentum * buf if nesterov else buf
+                param.data -= lr * grad

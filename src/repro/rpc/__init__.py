@@ -1,0 +1,13 @@
+"""A minimal RPC framework (the ``torch.distributed.rpc`` analog).
+
+The paper's §2.2 lists three distributed tools: ``DataParallel``,
+``DistributedDataParallel`` (this library's core), and "RPC for general
+distributed model parallel training (e.g., parameter server)" — Table
+1's ``PT RPC`` row.  This package provides that third tool at matching
+scope: named remote callables, synchronous and future-based calls, and
+remote references to rank-owned objects.
+"""
+
+from repro.rpc.agent import RpcAgent, RpcError, RRef, rpc_shutdown_all
+
+__all__ = ["RpcAgent", "RpcError", "RRef", "rpc_shutdown_all"]

@@ -1,0 +1,208 @@
+"""RPC agents over the point-to-point transport.
+
+Each rank owns an :class:`RpcAgent`: a set of listener threads (one per
+peer) that execute registered functions on request and mail results
+back.  Calls may be synchronous (``rpc_sync``), future-based
+(``rpc_async``), or create a remote object and return a lightweight
+:class:`RRef` handle (``remote``) whose methods are invoked remotely —
+the pattern parameter-server applications build on (paper §2.2, Table 1
+``PT RPC``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.comm.transport import TransportHub
+
+
+class RpcError(RuntimeError):
+    """A remote call raised; carries the remote exception's text."""
+
+
+class _Future:
+    """Result placeholder for an in-flight remote call."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[str] = None
+
+    def _resolve(self, value: Any, error: Optional[str]) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("rpc future timed out")
+        if self._error is not None:
+            raise RpcError(self._error)
+        return self._value
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class RRef:
+    """Reference to an object living on ``owner``'s agent.
+
+    ``rref.rpc_sync("method", *args)`` runs ``obj.method(*args)`` on the
+    owner; ``to_here()`` fetches a copy of the object.
+    """
+
+    def __init__(self, agent: "RpcAgent", owner: int, key: int):
+        self._agent = agent
+        self.owner = owner
+        self.key = key
+
+    def rpc_sync(self, method: str, *args, timeout: Optional[float] = None, **kwargs):
+        return self._agent.rpc_sync(
+            self.owner, "__rref_call__", self.key, method, args, kwargs, timeout=timeout
+        )
+
+    def rpc_async(self, method: str, *args, **kwargs) -> _Future:
+        return self._agent.rpc_async(
+            self.owner, "__rref_call__", self.key, method, args, kwargs
+        )
+
+    def to_here(self, timeout: Optional[float] = None):
+        return self._agent.rpc_sync(self.owner, "__rref_get__", self.key, timeout=timeout)
+
+
+class RpcAgent:
+    """One rank's RPC endpoint.
+
+    Functions are registered by name (``register``); every rank must
+    construct its agent before peers call into it.  ``shutdown`` stops
+    the listeners; :func:`rpc_shutdown_all` coordinates a clean global
+    stop.
+    """
+
+    def __init__(self, hub: TransportHub, rank: int, timeout: float = 30.0):
+        self.hub = hub
+        self.rank = rank
+        self.world = hub.world_size
+        self.timeout = timeout
+        self._functions: Dict[str, Callable] = {}
+        self._objects: Dict[int, Any] = {}
+        self._object_ids = itertools.count()
+        self._request_ids = itertools.count()
+        self._pending: Dict[int, _Future] = {}
+        self._lock = threading.Lock()
+        self._running = True
+
+        self.register("__rref_call__", self._rref_call)
+        self.register("__rref_get__", self._rref_get)
+        self.register("__rref_create__", self._rref_create)
+
+        self._threads = []
+        for peer in range(self.world):
+            if peer == rank:
+                continue
+            thread = threading.Thread(
+                target=self._listen, args=(peer,),
+                name=f"rpc-{rank}-from-{peer}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # -- registry -------------------------------------------------------
+    def register(self, name: str, fn: Callable) -> None:
+        self._functions[name] = fn
+
+    def _rref_create(self, factory_name: str, args, kwargs) -> int:
+        factory = self._functions[factory_name]
+        key = next(self._object_ids)
+        self._objects[key] = factory(*args, **kwargs)
+        return key
+
+    def _rref_call(self, key: int, method: str, args, kwargs):
+        obj = self._objects[key]
+        return getattr(obj, method)(*args, **kwargs)
+
+    def _rref_get(self, key: int):
+        return self._objects[key]
+
+    # -- wire protocol ----------------------------------------------------
+    def _listen(self, peer: int) -> None:
+        while self._running:
+            try:
+                message = self.hub.recv(self.rank, peer, "rpc", timeout=self.timeout)
+            except Exception:
+                return  # timeout or closed hub: listener retires
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "request":
+                _, request_id, name, args, kwargs = message
+                self._handle_request(peer, request_id, name, args, kwargs)
+            elif kind == "response":
+                _, request_id, value, error = message
+                with self._lock:
+                    future = self._pending.pop(request_id, None)
+                if future is not None:
+                    future._resolve(value, error)
+
+    def _handle_request(self, peer, request_id, name, args, kwargs) -> None:
+        try:
+            fn = self._functions[name]
+        except KeyError:
+            self._respond(peer, request_id, None, f"no rpc function named {name!r}")
+            return
+        try:
+            value = fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - serialized to caller
+            self._respond(peer, request_id, None, f"{type(exc).__name__}: {exc}")
+            return
+        self._respond(peer, request_id, value, None)
+
+    def _respond(self, peer, request_id, value, error) -> None:
+        self.hub.send(self.rank, peer, "rpc", ("response", request_id, value, error))
+
+    # -- calls ------------------------------------------------------------
+    def rpc_async(self, dst: int, name: str, *args, **kwargs) -> _Future:
+        if dst == self.rank:
+            # local short-circuit, still asynchronous semantics
+            future = _Future()
+            try:
+                future._resolve(self._functions[name](*args, **kwargs), None)
+            except Exception as exc:  # noqa: BLE001
+                future._resolve(None, f"{type(exc).__name__}: {exc}")
+            return future
+        request_id = next(self._request_ids)
+        future = _Future()
+        with self._lock:
+            self._pending[request_id] = future
+        self.hub.send(self.rank, dst, "rpc", ("request", request_id, name, args, kwargs))
+        return future
+
+    def rpc_sync(self, dst: int, name: str, *args, timeout: Optional[float] = None, **kwargs):
+        return self.rpc_async(dst, name, *args, **kwargs).wait(timeout or self.timeout)
+
+    def remote(self, dst: int, factory_name: str, *args, **kwargs) -> RRef:
+        """Create an object on ``dst`` via its registered factory."""
+        key = self.rpc_sync(dst, "__rref_create__", factory_name, args, kwargs)
+        return RRef(self, dst, key)
+
+    # -- shutdown --------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop this agent's listeners (idempotent, local only)."""
+        if not self._running:
+            return
+        self._running = False
+        for peer in range(self.world):
+            if peer != self.rank:
+                try:
+                    self.hub.send(peer, self.rank, "rpc", ("stop",))
+                except Exception:  # noqa: BLE001 - hub may be closed
+                    pass
+
+
+def rpc_shutdown_all(agent: RpcAgent, barrier=None) -> None:
+    """Coordinated shutdown: optional barrier, then local shutdown."""
+    if barrier is not None:
+        barrier()
+    agent.shutdown()

@@ -1,0 +1,47 @@
+"""Discrete-event simulation of DDP training iterations.
+
+Built on :mod:`repro.simnet`'s cost models, this package replays the
+timeline of a distributed training iteration — gradient-ready events in
+backward order, bucket-ready events, in-order asynchronous AllReduce on
+one or more communication streams — and reports per-iteration latency
+and its breakdown.  Every latency figure in the paper (Figs. 6–10, 12)
+is regenerated from :class:`~repro.simulation.trainer_sim.TrainingSimulator`.
+"""
+
+from repro.simulation.events import Stream, Timeline, ScheduledOp
+from repro.simulation.models import (
+    ModelProfile,
+    ParamSpec,
+    resnet50_profile,
+    resnet152_profile,
+    bert_profile,
+    profile_from_module,
+    measure_compute_anchors,
+)
+from repro.simulation.trainer_sim import (
+    SimulationConfig,
+    IterationResult,
+    TrainingSimulator,
+)
+from repro.simulation.trace import export_chrome_trace, iteration_trace_events
+from repro.simulation.memory import memory_breakdown, memory_report
+
+__all__ = [
+    "Stream",
+    "Timeline",
+    "ScheduledOp",
+    "ModelProfile",
+    "ParamSpec",
+    "resnet50_profile",
+    "resnet152_profile",
+    "bert_profile",
+    "profile_from_module",
+    "measure_compute_anchors",
+    "SimulationConfig",
+    "IterationResult",
+    "TrainingSimulator",
+    "export_chrome_trace",
+    "iteration_trace_events",
+    "memory_breakdown",
+    "memory_report",
+]

@@ -1,0 +1,89 @@
+"""Per-GPU memory model (paper §7, the ZeRO discussion).
+
+"The main memory consumption contributors are input data, model
+parameters, gradients, optimizer states, and activations."  This module
+quantifies those contributors for DDP's full replication and for the
+three ZeRO partitioning stages the paper describes, so the
+memory-vs-speed trade-off is concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.models import ModelProfile
+
+#: optimizer-state slots per parameter element.
+OPTIMIZER_SLOTS = {"sgd": 0.0, "momentum_sgd": 1.0, "adam": 2.0}
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU bytes by contributor."""
+
+    parameters: float
+    gradients: float
+    optimizer_state: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        return self.parameters + self.gradients + self.optimizer_state + self.activations
+
+    def row(self):
+        return (
+            round(self.parameters / 1e6, 1),
+            round(self.gradients / 1e6, 1),
+            round(self.optimizer_state / 1e6, 1),
+            round(self.activations / 1e6, 1),
+            round(self.total / 1e6, 1),
+        )
+
+
+def memory_breakdown(
+    model: ModelProfile,
+    world_size: int,
+    strategy: str = "ddp",
+    optimizer: str = "adam",
+    activation_bytes: float | None = None,
+    element_bytes: int = 4,
+) -> MemoryBreakdown:
+    """Per-GPU memory for a replication/partitioning strategy.
+
+    Strategies (paper §7):
+
+    * ``ddp``    — full replication of params, grads, optimizer state;
+    * ``zero1``  — optimizer state partitioned across ranks;
+    * ``zero2``  — + gradients partitioned;
+    * ``zero3``  — + parameters partitioned (gathered on demand).
+
+    ``activation_bytes`` defaults to 2× the parameter bytes, a crude but
+    serviceable stand-in for batch activations.
+    """
+    if strategy not in ("ddp", "zero1", "zero2", "zero3"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if optimizer not in OPTIMIZER_SLOTS:
+        raise ValueError(f"unknown optimizer {optimizer!r}")
+    n = model.num_params
+    params = n * element_bytes
+    grads = n * element_bytes
+    opt = n * element_bytes * OPTIMIZER_SLOTS[optimizer]
+    activations = activation_bytes if activation_bytes is not None else 2.0 * params
+    shard = 1.0 / max(world_size, 1)
+
+    if strategy in ("zero1", "zero2", "zero3"):
+        opt *= shard
+    if strategy in ("zero2", "zero3"):
+        grads *= shard
+    if strategy == "zero3":
+        params *= shard
+    return MemoryBreakdown(params, grads, opt, activations)
+
+
+def memory_report(model: ModelProfile, world_size: int, optimizer: str = "adam"):
+    """Rows (strategy, params_MB, grads_MB, opt_MB, act_MB, total_MB)."""
+    rows = []
+    for strategy in ("ddp", "zero1", "zero2", "zero3"):
+        breakdown = memory_breakdown(model, world_size, strategy, optimizer)
+        rows.append((strategy,) + breakdown.row())
+    return rows

@@ -1,0 +1,265 @@
+"""Parameter-shape profiles for the paper's evaluation models.
+
+The timing experiments need each model's parameter tensors in
+``model.parameters()`` order (bucketing walks that order in reverse)
+plus total element counts:
+
+* **ResNet50** — ~25.6 M parameters, the paper's vision workload.
+* **ResNet152** — ~60.2 M parameters, used for the Fig. 2(c,d) backward
+  profiles.
+* **BERT** — the paper's NLP workload, "15× more parameters than
+  ResNet50" (§5.2) ⇒ a BERT-Large-shaped encoder of ~345 M parameters.
+
+Profiles are generated structurally (bottleneck blocks, transformer
+layers), so tensor-count and size *distributions* are realistic — many
+tiny BatchNorm/bias vectors among large conv/linear matrices, which is
+what makes bucketing matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """A parameter tensor's identity in a profile (duck-types the pieces
+    of ``nn.Parameter`` that bucket assignment reads)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    device: str = "gpu:0"
+    dtype: str = "float32"
+
+    def numel(self) -> int:
+        return int(np.prod(self.shape))
+
+    def element_size(self) -> int:
+        return 4 if self.dtype == "float32" else 8
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A model reduced to what the simulator needs.
+
+    ``v100_forward_seconds`` / ``v100_backward_seconds`` anchor one
+    iteration's compute on the paper's V100 GPUs at its batch sizes;
+    other devices scale these through ``DeviceProfile.speed_factor``.
+    """
+
+    name: str
+    params: Tuple[ParamSpec, ...]
+    v100_forward_seconds: float = 0.05
+    v100_backward_seconds: float = 0.10
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.numel() for p in self.params)
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.params)
+
+    @property
+    def gradient_bytes(self) -> int:
+        return sum(p.numel() * p.element_size() for p in self.params)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelProfile({self.name}: {self.num_params/1e6:.1f}M params, "
+            f"{self.num_tensors} tensors)"
+        )
+
+
+def _conv(name: str, out_c: int, in_c: int, k: int) -> List[ParamSpec]:
+    return [ParamSpec(f"{name}.weight", (out_c, in_c, k, k))]
+
+
+def _bn(name: str, channels: int) -> List[ParamSpec]:
+    return [
+        ParamSpec(f"{name}.weight", (channels,)),
+        ParamSpec(f"{name}.bias", (channels,)),
+    ]
+
+
+def _linear(name: str, out_f: int, in_f: int, bias: bool = True) -> List[ParamSpec]:
+    specs = [ParamSpec(f"{name}.weight", (out_f, in_f))]
+    if bias:
+        specs.append(ParamSpec(f"{name}.bias", (out_f,)))
+    return specs
+
+
+def _bottleneck(name: str, in_c: int, mid_c: int, out_c: int, downsample: bool) -> List[ParamSpec]:
+    """A ResNet bottleneck block: 1x1 -> 3x3 -> 1x1 (+ optional shortcut)."""
+    specs: List[ParamSpec] = []
+    specs += _conv(f"{name}.conv1", mid_c, in_c, 1)
+    specs += _bn(f"{name}.bn1", mid_c)
+    specs += _conv(f"{name}.conv2", mid_c, mid_c, 3)
+    specs += _bn(f"{name}.bn2", mid_c)
+    specs += _conv(f"{name}.conv3", out_c, mid_c, 1)
+    specs += _bn(f"{name}.bn3", out_c)
+    if downsample:
+        specs += _conv(f"{name}.downsample.0", out_c, in_c, 1)
+        specs += _bn(f"{name}.downsample.1", out_c)
+    return specs
+
+
+def _resnet_profile(name: str, blocks_per_stage: Tuple[int, int, int, int]) -> Tuple[ParamSpec, ...]:
+    specs: List[ParamSpec] = []
+    specs += _conv("conv1", 64, 3, 7)
+    specs += _bn("bn1", 64)
+    in_c = 64
+    for stage, num_blocks in enumerate(blocks_per_stage):
+        mid_c = 64 * (2**stage)
+        out_c = mid_c * 4
+        for block in range(num_blocks):
+            specs += _bottleneck(
+                f"layer{stage + 1}.{block}",
+                in_c,
+                mid_c,
+                out_c,
+                downsample=(block == 0),
+            )
+            in_c = out_c
+    specs += _linear("fc", 1000, in_c)
+    return tuple(specs)
+
+
+@lru_cache(maxsize=None)
+def resnet50_profile() -> ModelProfile:
+    """ResNet50: blocks (3, 4, 6, 3) — about 25.6 M parameters."""
+    return ModelProfile(
+        "resnet50",
+        _resnet_profile("resnet50", (3, 4, 6, 3)),
+        v100_forward_seconds=0.042,
+        v100_backward_seconds=0.085,
+    )
+
+
+@lru_cache(maxsize=None)
+def resnet152_profile() -> ModelProfile:
+    """ResNet152: blocks (3, 8, 36, 3) — about 60.2 M parameters.
+
+    Backward anchor 250 ms matches Fig. 2(c) (and 6 s on CPUs via the
+    24x CPU profile, Fig. 2(d)).
+    """
+    return ModelProfile(
+        "resnet152",
+        _resnet_profile("resnet152", (3, 8, 36, 3)),
+        v100_forward_seconds=0.125,
+        v100_backward_seconds=0.250,
+    )
+
+
+@lru_cache(maxsize=None)
+def bert_profile(
+    hidden: int = 1024,
+    layers: int = 24,
+    heads: int = 16,
+    intermediate: int = 4096,
+    vocab: int = 30522,
+    max_positions: int = 512,
+) -> ModelProfile:
+    """A BERT-Large-shaped encoder — about 345 M parameters (~15× ResNet50)."""
+    specs: List[ParamSpec] = []
+    specs.append(ParamSpec("embeddings.word", (vocab, hidden)))
+    specs.append(ParamSpec("embeddings.position", (max_positions, hidden)))
+    specs.append(ParamSpec("embeddings.token_type", (2, hidden)))
+    specs += [
+        ParamSpec("embeddings.norm.weight", (hidden,)),
+        ParamSpec("embeddings.norm.bias", (hidden,)),
+    ]
+    for layer in range(layers):
+        base = f"encoder.layer{layer}"
+        for proj in ("query", "key", "value", "output"):
+            specs += _linear(f"{base}.attention.{proj}", hidden, hidden)
+        specs += [
+            ParamSpec(f"{base}.attention.norm.weight", (hidden,)),
+            ParamSpec(f"{base}.attention.norm.bias", (hidden,)),
+        ]
+        specs += _linear(f"{base}.ffn.intermediate", intermediate, hidden)
+        specs += _linear(f"{base}.ffn.output", hidden, intermediate)
+        specs += [
+            ParamSpec(f"{base}.ffn.norm.weight", (hidden,)),
+            ParamSpec(f"{base}.ffn.norm.bias", (hidden,)),
+        ]
+    specs += _linear("pooler", hidden, hidden)
+    return ModelProfile(
+        "bert",
+        tuple(specs),
+        v100_forward_seconds=0.30,
+        v100_backward_seconds=0.60,
+    )
+
+
+def profile_from_module(
+    module,
+    name: str,
+    v100_forward_seconds: float,
+    v100_backward_seconds: float,
+    device: str = "gpu:0",
+    dtype: str = "float32",
+) -> ModelProfile:
+    """Build a simulator profile from a real ``nn.Module``.
+
+    Lets downstream users plan deployments for *their* model: construct
+    it once, anchor its per-iteration compute (measured or estimated),
+    and sweep world sizes / bucket sizes / backends on the calibrated
+    simulator before buying hardware.
+    """
+    specs = tuple(
+        ParamSpec(param_name, tuple(param.shape), device=device, dtype=dtype)
+        for param_name, param in module.named_parameters()
+    )
+    if not specs:
+        raise ValueError("module has no parameters to profile")
+    return ModelProfile(
+        name,
+        specs,
+        v100_forward_seconds=v100_forward_seconds,
+        v100_backward_seconds=v100_backward_seconds,
+    )
+
+
+def measure_compute_anchors(module, sample_input, loss_fn=None, iterations: int = 3):
+    """Measure a real model's forward/backward wall-clock on this host.
+
+    Returns ``(forward_seconds, backward_seconds)`` medians, suitable as
+    the compute anchors of :func:`profile_from_module` (after rescaling
+    to the target device's speed).  ``loss_fn(output)`` must return a
+    scalar; defaults to ``output.sum()``.
+    """
+    import time
+
+    forwards, backwards = [], []
+    for _ in range(max(iterations, 1)):
+        module.zero_grad()
+        start = time.perf_counter()
+        out = module(sample_input)
+        mid = time.perf_counter()
+        loss = loss_fn(out) if loss_fn is not None else out.sum()
+        loss.backward()
+        end = time.perf_counter()
+        forwards.append(mid - start)
+        backwards.append(end - mid)
+    forwards.sort()
+    backwards.sort()
+    return forwards[len(forwards) // 2], backwards[len(backwards) // 2]
+
+
+PROFILES = {
+    "resnet50": resnet50_profile,
+    "resnet152": resnet152_profile,
+    "bert": bert_profile,
+}
+
+
+def profile_by_name(name: str) -> ModelProfile:
+    try:
+        return PROFILES[name]()
+    except KeyError:
+        raise ValueError(f"unknown model profile {name!r}; options: {sorted(PROFILES)}")

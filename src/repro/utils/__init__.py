@@ -1,0 +1,17 @@
+"""Shared utilities: seeding, sizes, and small helpers."""
+
+from repro.utils.seed import manual_seed, get_rng, fork_rng
+from repro.utils.units import MB, KB, format_bytes, format_seconds
+from repro.utils.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "manual_seed",
+    "get_rng",
+    "fork_rng",
+    "MB",
+    "KB",
+    "format_bytes",
+    "format_seconds",
+    "save_checkpoint",
+    "load_checkpoint",
+]

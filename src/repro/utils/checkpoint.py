@@ -1,0 +1,41 @@
+"""Model/optimizer checkpointing.
+
+In data parallel training, replicas are identical by construction, so
+checkpointing is a rank-0-only concern: save on rank 0, load everywhere
+(or load before wrapping with DDP and let the constructor broadcast).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_checkpoint(path: str, module, extra: Dict | None = None) -> None:
+    """Write a model's state_dict (plus optional scalar metadata) as npz."""
+    state = module.state_dict()
+    payload = {f"state/{name}": value for name, value in state.items()}
+    for key, value in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(value)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str, module) -> Dict:
+    """Load a checkpoint into ``module``; returns the extra metadata."""
+    with np.load(path) as data:
+        state = {
+            key[len("state/"):]: data[key]
+            for key in data.files
+            if key.startswith("state/")
+        }
+        extra = {
+            key[len("extra/"):]: data[key]
+            for key in data.files
+            if key.startswith("extra/")
+        }
+    module.load_state_dict(state)
+    return extra

@@ -1,0 +1,32 @@
+"""Library logging.
+
+A single ``repro`` logger, silent by default.  Set ``REPRO_LOG=debug``
+(or ``info``) in the environment, or call :func:`enable_logging`, to
+see reducer events (bucket launches, finalization, rebucketing) —
+the first thing to look at when a distributed run hangs.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+logger = logging.getLogger("repro")
+logger.addHandler(logging.NullHandler())
+
+
+def enable_logging(level: str = "debug") -> logging.Logger:
+    """Attach a stderr handler with rank-aware formatting."""
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("[repro %(levelname).1s %(threadName)s] %(message)s")
+    )
+    logger.handlers = [h for h in logger.handlers if isinstance(h, logging.NullHandler)]
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    return logger
+
+
+_env_level = os.environ.get("REPRO_LOG")
+if _env_level:
+    enable_logging(_env_level)

@@ -1,0 +1,44 @@
+"""Deterministic random-number management.
+
+Distributed data parallel correctness hinges on every rank drawing the
+*same* initial parameters, so the library routes every random draw through
+a process-wide :class:`numpy.random.Generator` that callers can re-seed.
+Per-rank randomness (e.g. dropout masks that must differ across ranks) is
+obtained with :func:`fork_rng`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_state = threading.local()
+
+_DEFAULT_SEED = 0
+
+
+def manual_seed(seed: int) -> None:
+    """Seed the calling thread's generator (each rank thread seeds its own)."""
+    _state.rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the calling thread's generator, creating a default-seeded one."""
+    rng = getattr(_state, "rng", None)
+    if rng is None:
+        rng = np.random.default_rng(_DEFAULT_SEED)
+        _state.rng = rng
+    return rng
+
+
+@contextlib.contextmanager
+def fork_rng(seed: int):
+    """Temporarily replace the thread's generator with a fresh-seeded one."""
+    previous = getattr(_state, "rng", None)
+    _state.rng = np.random.default_rng(seed)
+    try:
+        yield _state.rng
+    finally:
+        _state.rng = previous

@@ -1,0 +1,37 @@
+"""Byte/time unit helpers used by bucketing and the cost models."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * 1024
+
+_FLOAT32_BYTES = 4
+
+
+def params_to_bytes(num_params: int, dtype_bytes: int = _FLOAT32_BYTES) -> int:
+    """Size in bytes of ``num_params`` elements of the given element width."""
+    return num_params * dtype_bytes
+
+
+def bytes_to_params(num_bytes: float, dtype_bytes: int = _FLOAT32_BYTES) -> float:
+    """Number of fp32-sized elements that fit in ``num_bytes``."""
+    return num_bytes / dtype_bytes
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (e.g. ``25.0MB``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``430.0us``, ``12.3ms``, ``1.27s``)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,50 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comm import run_distributed
+from repro.utils import manual_seed
+
+
+def run_world(world_size, fn, backend=None, timeout=10.0):
+    """Run ``fn`` on rank threads with a short test-friendly timeout."""
+    return run_distributed(world_size, fn, backend=backend, timeout=timeout)
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn()
+        flat[i] = original - eps
+        lower = fn()
+        flat[i] = original
+        gflat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def small_classifier(seed: int = 7) -> nn.Module:
+    """A deterministic 2-layer classifier (same weights for same seed)."""
+    manual_seed(seed)
+    return nn.Sequential(nn.Linear(6, 16), nn.ReLU(), nn.Linear(16, 4))
+
+
+def buffered_classifier(seed: int = 7) -> nn.Module:
+    """Classifier containing BatchNorm buffers."""
+    manual_seed(seed)
+    return nn.Sequential(
+        nn.Linear(6, 16), nn.BatchNorm1d(16), nn.ReLU(), nn.Linear(16, 4)
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

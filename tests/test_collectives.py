@@ -1,0 +1,205 @@
+"""Collective algorithms over the transport, all world sizes."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import algorithms as alg
+from repro.comm.transport import TransportHub
+
+WORLD_SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+def run_ranks(world, fn, timeout=10.0):
+    hub = TransportHub(world, default_timeout=timeout)
+    results = [None] * world
+    errors = []
+
+    def worker(rank):
+        try:
+            results[rank] = fn(hub, rank)
+        except Exception as exc:  # noqa: BLE001
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(world)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 2)
+    assert not errors, errors
+    return results, hub
+
+
+@pytest.mark.parametrize("world", WORLD_SIZES)
+@pytest.mark.parametrize("algorithm", sorted(alg.ALLREDUCE_ALGORITHMS))
+class TestAllReduceSum:
+    def test_sum_matches(self, world, algorithm):
+        rng = np.random.default_rng(world)
+        inputs = [rng.standard_normal(17) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+        fn = alg.ALLREDUCE_ALGORITHMS[algorithm]
+
+        def body(hub, rank):
+            buf = inputs[rank].copy()
+            fn(hub, list(range(world)), rank, buf, "sum", tag="t")
+            return buf
+
+        results, _ = run_ranks(world, body)
+        for out in results:
+            assert np.allclose(out, expected)
+
+
+@pytest.mark.parametrize("op,reduce_fn", [
+    ("max", np.maximum.reduce),
+    ("min", np.minimum.reduce),
+    ("prod", lambda arrs: np.prod(arrs, axis=0)),
+])
+def test_allreduce_other_ops(op, reduce_fn):
+    world = 4
+    rng = np.random.default_rng(0)
+    inputs = [rng.uniform(0.5, 2.0, 9) for _ in range(world)]
+    expected = reduce_fn(inputs)
+
+    def body(hub, rank):
+        buf = inputs[rank].copy()
+        alg.allreduce_ring(hub, list(range(world)), rank, buf, op, tag="t")
+        return buf
+
+    results, _ = run_ranks(world, body)
+    for out in results:
+        assert np.allclose(out, expected)
+
+
+def test_allreduce_bor_integer_bitmaps():
+    """The DDP unused-parameter bitmap path: integer OR across ranks."""
+    world = 3
+    maps = [np.array([1, 0, 0, 1]), np.array([0, 1, 0, 1]), np.array([0, 0, 0, 0])]
+
+    def body(hub, rank):
+        buf = maps[rank].astype(np.int32)
+        alg.allreduce_naive(hub, list(range(world)), rank, buf, "bor", tag="t")
+        return buf
+
+    results, _ = run_ranks(world, body)
+    for out in results:
+        assert np.array_equal(out, [1, 1, 0, 1])
+
+
+def test_unknown_op_raises():
+    hub = TransportHub(1)
+    with pytest.raises(ValueError, match="unknown reduce op"):
+        alg.allreduce_ring(hub, [0], 0, np.zeros(3), "bogus")
+
+
+class TestRingProperties:
+    def test_message_count_is_2p_minus_2(self):
+        world = 5
+
+        def body(hub, rank):
+            buf = np.zeros(25)
+            alg.allreduce_ring(hub, list(range(world)), rank, buf, "sum", tag="t")
+            return None
+
+        _, hub = run_ranks(world, body)
+        assert hub.messages_sent == [2 * (world - 1)] * world
+
+    def test_buffer_smaller_than_world(self):
+        """Fewer elements than ranks still reduces correctly."""
+        world = 6
+        inputs = [np.array([float(r)]) for r in range(world)]
+
+        def body(hub, rank):
+            buf = inputs[rank].copy()
+            alg.allreduce_ring(hub, list(range(world)), rank, buf, "sum", tag="t")
+            return buf
+
+        results, _ = run_ranks(world, body)
+        for out in results:
+            assert np.allclose(out, 15.0)
+
+    def test_2d_buffer_supported(self):
+        world = 3
+
+        def body(hub, rank):
+            buf = np.full((2, 4), float(rank))
+            alg.allreduce_ring(hub, list(range(world)), rank, buf, "sum", tag="t")
+            return buf
+
+        results, _ = run_ranks(world, body)
+        for out in results:
+            assert np.allclose(out, 3.0)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("world", WORLD_SIZES)
+    @pytest.mark.parametrize("root_offset", [0, 1])
+    def test_all_ranks_receive_root_value(self, world, root_offset):
+        root = root_offset % world
+        payload = np.arange(11.0)
+
+        def body(hub, rank):
+            buf = payload.copy() if rank == root else np.zeros(11)
+            alg.broadcast(hub, list(range(world)), rank, buf, root=root, tag="t")
+            return buf
+
+        results, _ = run_ranks(world, body)
+        for out in results:
+            assert np.array_equal(out, payload)
+
+
+class TestAllGatherReduceScatter:
+    @pytest.mark.parametrize("world", [1, 2, 4, 5])
+    def test_allgather(self, world):
+        inputs = [np.full(3, float(r)) for r in range(world)]
+
+        def body(hub, rank):
+            return alg.allgather(hub, list(range(world)), rank, inputs[rank].copy())
+
+        results, _ = run_ranks(world, body)
+        expected = np.stack(inputs)
+        for out in results:
+            assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("world", [2, 3, 4])
+    def test_reduce_scatter_owns_correct_chunk(self, world):
+        rng = np.random.default_rng(1)
+        inputs = [rng.standard_normal(12) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+        chunks = np.array_split(np.arange(12), world)
+
+        def body(hub, rank):
+            return alg.reduce_scatter(hub, list(range(world)), rank, inputs[rank].copy())
+
+        results, _ = run_ranks(world, body)
+        for rank, out in enumerate(results):
+            owned = (rank + 1) % world
+            assert np.allclose(out, expected[chunks[owned]])
+
+    def test_barrier_completes(self):
+        def body(hub, rank):
+            alg.barrier(hub, list(range(4)), rank)
+            return True
+
+        results, _ = run_ranks(4, body)
+        assert all(results)
+
+
+class TestSubgroupRanks:
+    def test_collectives_over_global_rank_subset(self):
+        """Algorithms operate on arbitrary global-rank lists (sub-groups)."""
+        world = 4
+        members = [1, 3]
+
+        def body(hub, rank):
+            if rank not in members:
+                return None
+            me = members.index(rank)
+            buf = np.full(4, float(rank))
+            alg.allreduce_ring(hub, members, me, buf, "sum", tag="sub")
+            return buf
+
+        results, _ = run_ranks(world, body)
+        assert results[0] is None and results[2] is None
+        assert np.allclose(results[1], 4.0)
+        assert np.allclose(results[3], 4.0)

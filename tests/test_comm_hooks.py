@@ -1,0 +1,160 @@
+"""Gradient-compression communication hooks (paper §6.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core import DistributedDataParallel, comm_hooks
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+from conftest import run_world, small_classifier
+
+RNG = np.random.default_rng(9)
+X = RNG.standard_normal((8, 6))
+Y = RNG.integers(0, 4, 8)
+
+
+def grads_with_hook(hook_factory, world=2, iters=1):
+    def body(rank):
+        model = small_classifier()
+        ddp = DistributedDataParallel(model, comm_hook=hook_factory() if hook_factory else None)
+        loss_fn = nn.CrossEntropyLoss()
+        shard = slice(rank * 4, (rank + 1) * 4)
+        for _ in range(iters):
+            model.zero_grad()
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+        return {n: p.grad.data.copy() for n, p in model.named_parameters()}
+
+    return run_world(world, body, backend="gloo")
+
+
+class TestAllreduceHook:
+    def test_identity_hook_matches_native(self):
+        native = grads_with_hook(None)
+        hooked = grads_with_hook(lambda: comm_hooks.allreduce_hook)
+        for name in native[0]:
+            assert np.allclose(native[0][name], hooked[0][name], atol=1e-12)
+
+    def test_ranks_agree(self):
+        hooked = grads_with_hook(lambda: comm_hooks.allreduce_hook)
+        for name in hooked[0]:
+            assert np.allclose(hooked[0][name], hooked[1][name])
+
+
+class TestFp16Hook:
+    def test_close_to_exact_average(self):
+        native = grads_with_hook(None)
+        fp16 = grads_with_hook(lambda: comm_hooks.fp16_compress_hook)
+        for name in native[0]:
+            scale = np.abs(native[0][name]).max() + 1e-12
+            err = np.abs(native[0][name] - fp16[0][name]).max() / scale
+            assert err < 5e-3  # float16 relative precision
+
+    def test_ranks_agree(self):
+        fp16 = grads_with_hook(lambda: comm_hooks.fp16_compress_hook)
+        for name in fp16[0]:
+            assert np.allclose(fp16[0][name], fp16[1][name])
+
+
+class TestQuantize8Hook:
+    def test_bounded_error(self):
+        native = grads_with_hook(None)
+        q8 = grads_with_hook(lambda: comm_hooks.quantize8_hook)
+        # The quantization grid is shared per *bucket*, so compare
+        # against the global gradient scale.
+        global_scale = max(np.abs(g).max() for g in native[0].values())
+        for name in native[0]:
+            err = np.abs(native[0][name] - q8[0][name]).max()
+            assert err < global_scale * 1.5 / 127  # about one level
+
+
+class TestOneBitHook:
+    def test_signs_survive_when_ranks_agree(self):
+        """With identical batches on both ranks, per-rank signs agree
+        and the compressed gradient keeps every direction exactly."""
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, comm_hook=comm_hooks.OneBitSGDHook())
+            nn.CrossEntropyLoss()(ddp(Tensor(X[:4])), Y[:4]).backward()
+            return {n: p.grad.data.copy() for n, p in model.named_parameters()}
+
+        native = grads_with_hook(None)
+
+        def native_body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model)
+            nn.CrossEntropyLoss()(ddp(Tensor(X[:4])), Y[:4]).backward()
+            return {n: p.grad.data.copy() for n, p in model.named_parameters()}
+
+        native = run_world(2, native_body, backend="gloo")
+        compressed = run_world(2, body, backend="gloo")
+        for name in native[0]:
+            g = native[0][name].reshape(-1)
+            c = compressed[0][name].reshape(-1)
+            nonzero = np.abs(g) > 1e-12
+            assert np.all(np.sign(g[nonzero]) == np.sign(c[nonzero]))
+
+    def test_error_feedback_accumulates(self):
+        hook = comm_hooks.OneBitSGDHook()
+
+        class OneRankGroup:
+            size = 1
+            supports_cpu_tensors = True
+
+            def allreduce(self, tensor, op="sum", async_op=False):
+                class _W:
+                    def wait(self, timeout=None):
+                        pass
+
+                return _W() if async_op else None
+
+        bucket = Tensor(np.array([1.0, -0.1, 0.1]))
+        work = hook(OneRankGroup(), bucket, 1)
+        work.wait()
+        # residual memory must be non-zero (compression was lossy)
+        (err,) = [e for e in hook._error.values()]
+        assert np.abs(err).sum() > 0
+
+    def test_training_still_converges(self):
+        """End-to-end: 1-bit compressed DDP training reduces loss."""
+
+        def body(rank):
+            manual_seed(7)
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, comm_hook=comm_hooks.OneBitSGDHook())
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            losses = []
+            for _ in range(80):
+                opt.zero_grad()
+                loss = loss_fn(ddp(Tensor(X[shard])), Y[shard])
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+            return losses[0], losses[-1]
+
+        for first, last in run_world(2, body, backend="gloo", timeout=60):
+            assert last < first * 0.78
+
+
+class TestCompressionRatios:
+    def test_ratios(self):
+        assert comm_hooks.compression_ratio("fp16", 8) == 0.25
+        assert comm_hooks.compression_ratio("onebit", 8) == 0.125
+        assert comm_hooks.compression_ratio("allreduce", 8) == 1.0
+        with pytest.raises(KeyError):
+            comm_hooks.compression_ratio("bogus")
+
+    def test_register_comm_hook_after_construction(self):
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model)
+            ddp.register_comm_hook(comm_hooks.fp16_compress_hook)
+            nn.CrossEntropyLoss()(ddp(Tensor(X[:4])), Y[:4]).backward()
+            return all(p.grad is not None for p in model.parameters())
+
+        assert all(run_world(2, body, backend="gloo"))

@@ -1,0 +1,99 @@
+"""Single-process multi-thread DataParallel (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core import DataParallel
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+RNG = np.random.default_rng(81)
+X = RNG.standard_normal((12, 6))
+Y = RNG.integers(0, 4, 12)
+
+
+def make_model():
+    manual_seed(33)
+    return nn.Sequential(nn.Linear(6, 16), nn.Tanh(), nn.Linear(16, 4))
+
+
+class TestForwardSemantics:
+    def test_output_matches_single_replica(self):
+        model = make_model()
+        dp = DataParallel(model, num_replicas=3)
+        expected = model(Tensor(X))
+        out = dp(Tensor(X))
+        assert out.shape == expected.shape
+        assert np.allclose(out.data, expected.data)
+
+    def test_ragged_batches(self):
+        dp = DataParallel(make_model(), num_replicas=4)
+        out = dp(Tensor(X[:7]))  # 7 rows across 4 workers
+        assert out.shape == (7, 4)
+
+    def test_more_replicas_than_samples(self):
+        dp = DataParallel(make_model(), num_replicas=8)
+        assert dp(Tensor(X[:3])).shape == (3, 4)
+
+    def test_single_replica_short_circuits(self):
+        dp = DataParallel(make_model(), num_replicas=1)
+        assert dp(Tensor(X)).shape == (12, 4)
+
+    def test_replica_exception_propagates(self):
+        class Broken(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = nn.Linear(6, 2)
+
+            def forward(self, x):
+                raise RuntimeError("replica exploded")
+
+        dp = DataParallel(Broken(), num_replicas=2)
+        with pytest.raises(RuntimeError, match="replica exploded"):
+            dp(Tensor(X))
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            DataParallel(make_model(), num_replicas=0)
+
+
+class TestGradientEquivalence:
+    def test_training_matches_plain_full_batch(self):
+        """DP's scattered forward + single backward equals local
+        full-batch training exactly — the §2.2 mathematical baseline."""
+        loss_fn = nn.CrossEntropyLoss()
+
+        reference = make_model()
+        opt = SGD(reference.parameters(), lr=0.1)
+        for _ in range(4):
+            opt.zero_grad()
+            loss_fn(reference(Tensor(X)), Y).backward()
+            opt.step()
+        expected = reference.state_dict()
+
+        model = make_model()
+        dp = DataParallel(model, num_replicas=3)
+        opt = SGD(dp.parameters(), lr=0.1)
+        for _ in range(4):
+            opt.zero_grad()
+            loss_fn(dp(Tensor(X)), Y).backward()
+            opt.step()
+
+        for name, value in dp.state_dict().items():
+            assert np.allclose(value, expected[name], atol=1e-12)
+
+    def test_gradients_accumulate_across_replica_branches(self):
+        model = make_model()
+        dp = DataParallel(model, num_replicas=2)
+        out = dp(Tensor(X))
+        nn.CrossEntropyLoss()(out, Y).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_state_dict_passthrough(self):
+        model = make_model()
+        dp = DataParallel(model)
+        state = dp.state_dict()
+        dp.load_state_dict(state)
+        assert set(state) == set(model.state_dict())

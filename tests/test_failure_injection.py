@@ -1,0 +1,220 @@
+"""Failure injection: dropped/delayed messages, dying ranks, stragglers.
+
+Distributed failures in real deployments surface as NCCL timeouts or
+silent hangs; these tests verify the library turns each injected fault
+into a *diagnosable* error rather than a deadlock or corruption.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import get_context, run_distributed
+from repro.comm.transport import TransportHub, TransportTimeoutError
+from repro.comm import algorithms as alg
+from repro.core import DistributedDataParallel
+from repro.optim import SGD
+
+from conftest import run_world, small_classifier
+
+
+class DroppingHub(TransportHub):
+    """Drops the nth send matching a predicate."""
+
+    def __init__(self, world_size, drop_when, **kwargs):
+        super().__init__(world_size, **kwargs)
+        self._drop_when = drop_when
+        self.dropped = 0
+
+    def send(self, src, dst, tag, payload):
+        if self._drop_when(src, dst, tag, self.dropped):
+            self.dropped += 1
+            return  # silently lost on the wire
+        super().send(src, dst, tag, payload)
+
+
+class DelayingHub(TransportHub):
+    """Adds latency to every send from a straggler rank."""
+
+    def __init__(self, world_size, slow_rank, delay, **kwargs):
+        super().__init__(world_size, **kwargs)
+        self._slow_rank = slow_rank
+        self._delay = delay
+
+    def send(self, src, dst, tag, payload):
+        if src == self._slow_rank:
+            time.sleep(self._delay)
+        super().send(src, dst, tag, payload)
+
+
+class CorruptingHub(TransportHub):
+    """Flips values in the first payload between a rank pair."""
+
+    def __init__(self, world_size, **kwargs):
+        super().__init__(world_size, **kwargs)
+        self._corrupted = False
+
+    def send(self, src, dst, tag, payload):
+        if not self._corrupted and isinstance(payload, np.ndarray) and payload.size:
+            payload = payload.copy()
+            payload.reshape(-1)[0] += 1000.0
+            self._corrupted = True
+        super().send(src, dst, tag, payload)
+
+
+def _run_on_hub(hub, world, fn, timeout=15):
+    results = [None] * world
+    errors = []
+
+    def worker(rank):
+        try:
+            results[rank] = fn(hub, rank)
+        except Exception as exc:  # noqa: BLE001
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(world)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    return results, errors
+
+
+class TestMessageLoss:
+    def test_dropped_message_times_out_with_rank_info(self):
+        """A lost ring chunk must surface as a timeout naming the peer."""
+        hub = DroppingHub(
+            2,
+            drop_when=lambda src, dst, tag, n: n == 0 and src == 0,
+            default_timeout=0.3,
+        )
+
+        def body(h, rank):
+            buf = np.ones(8)
+            alg.allreduce_ring(h, [0, 1], rank, buf, "sum", tag="t")
+            return buf
+
+        _, errors = _run_on_hub(hub, 2, body)
+        assert errors
+        assert any(isinstance(e, TransportTimeoutError) for _, e in errors)
+        message = str(next(e for _, e in errors if isinstance(e, TransportTimeoutError)))
+        assert "rank" in message and "timed out" in message
+
+    def test_drop_in_broadcast_detected(self):
+        hub = DroppingHub(
+            4,
+            drop_when=lambda src, dst, tag, n: n == 0 and "bc" in str(tag),
+            default_timeout=0.3,
+        )
+
+        def body(h, rank):
+            buf = np.full(4, float(rank))
+            alg.broadcast(h, list(range(4)), rank, buf, root=0, tag="x")
+            return buf
+
+        _, errors = _run_on_hub(hub, 4, body)
+        assert errors  # someone noticed
+
+
+class TestStragglers:
+    def test_slow_rank_delays_but_does_not_break_collectives(self):
+        hub = DelayingHub(3, slow_rank=2, delay=0.05, default_timeout=10)
+
+        def body(h, rank):
+            buf = np.full(4, float(rank + 1))
+            alg.allreduce_ring(h, [0, 1, 2], rank, buf, "sum", tag="t")
+            return buf
+
+        start = time.time()
+        results, errors = _run_on_hub(hub, 3, body)
+        elapsed = time.time() - start
+        assert not errors
+        for out in results:
+            assert np.allclose(out, 6.0)
+        # the straggler's sends gate the ring: 2(p-1)=4 delayed hops
+        assert elapsed >= 0.05 * 2
+
+    def test_ddp_training_tolerates_straggler(self):
+        """DDP semantics are unaffected by timing skew — only latency."""
+        rng = np.random.default_rng(0)
+        X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
+        hub = DelayingHub(2, slow_rank=1, delay=0.01, default_timeout=10)
+        from repro.comm import Store
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model)
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 2, (rank + 1) * 2)
+            for _ in range(2):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            return ddp.state_dict()
+
+        states = run_distributed(2, body, backend="gloo", hub=hub, store=Store(timeout=10))
+        for name in states[0]:
+            assert np.array_equal(states[0][name], states[1][name])
+
+
+class TestCorruption:
+    def test_corrupted_payload_breaks_replica_agreement(self):
+        """Silent on-the-wire corruption is observable as replica
+        divergence — the invariant monitoring should check for this."""
+        hub = CorruptingHub(2, default_timeout=5)
+        from repro.comm import Store
+
+        rng = np.random.default_rng(0)
+        X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.001)
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 2, (rank + 1) * 2)
+            opt.zero_grad()
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+            opt.step()
+            return ddp.state_dict()
+
+        states = run_distributed(2, body, backend="gloo", hub=hub, store=Store(timeout=5))
+        diverged = any(
+            not np.array_equal(states[0][name], states[1][name]) for name in states[0]
+        )
+        assert diverged
+
+
+class TestRankDeath:
+    def test_death_before_construction_blocks_rendezvous(self):
+        def body(rank):
+            if rank == 1:
+                raise RuntimeError("died before joining the process group")
+            # rank 0 blocks in rendezvous until the harness tears down
+            get_context()
+            DistributedDataParallel(small_classifier())
+
+        with pytest.raises(RuntimeError, match="died before joining|rank"):
+            run_world(2, body, backend="gloo", timeout=2)
+
+    def test_death_mid_training_surfaces_original_error(self):
+        rng = np.random.default_rng(0)
+        X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 2, (rank + 1) * 2)
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+            if rank == 1:
+                raise MemoryError("simulated OOM on rank 1")
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed: simulated OOM"):
+            run_world(2, body, backend="gloo", timeout=5)

@@ -1,0 +1,70 @@
+"""Property-based gradient checking across random shapes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import gradcheck, ops
+
+shapes_2d = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+class TestElementwiseGradients:
+    @settings(max_examples=20, deadline=None)
+    @given(shape=shapes_2d, seed=st.integers(0, 10_000))
+    def test_smooth_unary_chain(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(shape)
+        assert gradcheck(lambda x: (x.tanh().exp() * x.sigmoid()).sum(), [a])
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=shapes_2d, seed=st.integers(0, 10_000))
+    def test_binary_mix(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(shape)
+        b = rng.standard_normal(shape) + 3.0  # keep away from div-by-0
+        assert gradcheck(lambda x, y: ((x * y + x) / y).sum(), [a, b])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        inner=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matmul_random_shapes(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((rows, inner))
+        b = rng.standard_normal((inner, cols))
+        assert gradcheck(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shapes_2d, axis=st.sampled_from([0, 1]), seed=st.integers(0, 10_000))
+    def test_softmax_any_axis(self, shape, axis, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(shape)
+        assert gradcheck(lambda x: (ops.softmax(x, axis=axis) ** 3).sum(), [a])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        shape=st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+        seed=st.integers(0, 10_000),
+    )
+    def test_reductions_3d(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(shape)
+        assert gradcheck(lambda x: (x.mean(axis=1) * x.sum(axis=(0, 2)).sum()).sum(), [a])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        batch=st.integers(1, 2),
+        channels=st.integers(1, 3),
+        size=st.integers(3, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_conv_random_configs(self, batch, channels, size, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, channels, size, size))
+        w = rng.standard_normal((2, channels, 2, 2))
+        assert gradcheck(
+            lambda a, b: (ops.conv2d(a, b, stride=1, padding=1) ** 2).sum(), [x, w]
+        )

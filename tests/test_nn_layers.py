@@ -1,0 +1,191 @@
+"""Layer forward/backward behavior."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, randn
+from repro.utils import fork_rng, manual_seed
+
+from conftest import numeric_gradient
+
+
+@pytest.fixture(autouse=True)
+def seed():
+    manual_seed(11)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(5, 3)
+        assert layer(randn(7, 5)).shape == (7, 3)
+
+    def test_matches_manual(self):
+        layer = nn.Linear(4, 2)
+        x = randn(3, 4)
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x).data, expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+        assert layer(randn(3, 4)).shape == (3, 2)
+
+    def test_gradients_numeric(self):
+        layer = nn.Linear(3, 2)
+        x = randn(4, 3)
+
+        def loss_value():
+            return float(((layer(x)) ** 2).mean().item())
+
+        (layer(x) ** 2).mean().backward()
+        numeric = numeric_gradient(loss_value, layer.weight.data)
+        assert np.abs(layer.weight.grad.data - numeric).max() < 1e-6
+
+    def test_3d_input(self):
+        layer = nn.Linear(4, 2)
+        assert layer(randn(2, 5, 4)).shape == (2, 5, 2)
+
+    def test_init_scale_reasonable(self):
+        layer = nn.Linear(100, 100)
+        bound = 1.0 / np.sqrt(100)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-9
+
+
+class TestConvLayers:
+    def test_conv_shape(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        assert conv(randn(2, 3, 8, 8)).shape == (2, 8, 4, 4)
+
+    def test_conv_bias_broadcast(self):
+        conv = nn.Conv2d(1, 2, kernel_size=1)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[...] = np.array([1.0, 2.0])
+        out = conv(randn(1, 1, 3, 3))
+        assert np.allclose(out.data[0, 0], 1.0)
+        assert np.allclose(out.data[0, 1], 2.0)
+
+    def test_conv_no_bias(self):
+        conv = nn.Conv2d(1, 2, 3, bias=False)
+        assert conv.bias is None
+
+    def test_pooling_modules(self):
+        x = randn(1, 2, 8, 8)
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+        assert nn.MaxPool2d(2, stride=1)(x).shape == (1, 2, 7, 7)
+
+    def test_flatten(self):
+        assert nn.Flatten()(randn(3, 2, 4, 4)).shape == (3, 32)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = nn.BatchNorm1d(4)
+        x = randn(64, 4) * 5.0 + 3.0
+        out = bn(x)
+        assert np.abs(out.data.mean(axis=0)).max() < 1e-6
+        assert np.abs(out.data.std(axis=0) - 1.0).max() < 1e-2
+
+    def test_running_stats_update(self):
+        bn = nn.BatchNorm1d(2)
+        x = randn(32, 2) + 10.0
+        bn(x)
+        assert np.all(bn.running_mean.data > 0.5)
+        assert bn.num_batches_tracked.data[0] == 1
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        for _ in range(50):
+            bn(randn(64, 2) * 2.0 + 5.0)
+        bn.eval()
+        x = randn(8, 2) * 2.0 + 5.0
+        out = bn(x)
+        # roughly standardized using the learned running stats
+        assert np.abs(out.data.mean()) < 0.5
+
+    def test_batchnorm2d(self):
+        bn = nn.BatchNorm2d(3)
+        out = bn(randn(4, 3, 5, 5) * 2.0 + 1.0)
+        assert out.shape == (4, 3, 5, 5)
+        assert np.abs(out.data.mean(axis=(0, 2, 3))).max() < 1e-6
+
+    def test_batchnorm1d_3d_input(self):
+        bn = nn.BatchNorm1d(3)
+        out = bn(randn(4, 3, 7))
+        assert out.shape == (4, 3, 7)
+        assert np.abs(out.data.mean(axis=(0, 2))).max() < 1e-6
+
+    def test_gradient_flows(self):
+        bn = nn.BatchNorm1d(3)
+        (bn(randn(8, 3)) ** 2).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        ln = nn.LayerNorm(6)
+        out = ln(randn(4, 6) * 3.0 + 2.0)
+        assert np.abs(out.data.mean(axis=-1)).max() < 1e-6
+
+    def test_affine_params(self):
+        ln = nn.LayerNorm(4)
+        ln.weight.data[...] = 2.0
+        ln.bias.data[...] = 1.0
+        out = ln(randn(3, 4))
+        assert np.abs(out.data.mean(axis=-1) - 1.0).max() < 1e-6
+
+    def test_works_on_3d(self):
+        assert nn.LayerNorm(8)(randn(2, 5, 8)).shape == (2, 5, 8)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_lookup(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_embedding_repeated_index_grad_accumulates(self):
+        emb = nn.Embedding(5, 3)
+        out = emb(np.array([2, 2, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad.data[2], 3.0)
+        assert np.allclose(emb.weight.grad.data[0], 0.0)
+
+    def test_dropout_train_vs_eval(self):
+        drop = nn.Dropout(0.5)
+        x = Tensor(np.ones((100, 100)))
+        with fork_rng(0):
+            out = drop(x)
+        assert (out.data == 0).mean() > 0.3
+        drop.eval()
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_dropout_scales_kept_values(self):
+        drop = nn.Dropout(0.5)
+        with fork_rng(0):
+            out = drop(Tensor(np.ones(10_000)))
+        kept = out.data[out.data != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_dropout_p_zero_is_identity(self):
+        x = randn(5, 5)
+        assert np.array_equal(nn.Dropout(0.0)(x).data, x.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestActivationModules:
+    def test_all_shapes_preserved(self):
+        x = randn(3, 4)
+        for layer in (nn.ReLU(), nn.Tanh(), nn.Sigmoid(), nn.GELU()):
+            assert layer(x).shape == (3, 4)
+
+    def test_relu_clamps(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 2.0])

@@ -1,0 +1,80 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, ops, randn
+from repro.utils import manual_seed
+
+
+@pytest.fixture(autouse=True)
+def seed():
+    manual_seed(3)
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([1.0, 1.0, 1.0]))
+        assert np.isclose(nn.MSELoss()(pred, target).item(), (0 + 1 + 4) / 3)
+
+    def test_reductions(self):
+        pred, target = Tensor(np.array([2.0, 4.0])), Tensor(np.zeros(2))
+        assert np.isclose(nn.MSELoss("sum")(pred, target).item(), 20.0)
+        assert nn.MSELoss("none")(pred, target).shape == (2,)
+        with pytest.raises(ValueError):
+            nn.MSELoss("bogus")(pred, target)
+
+    def test_gradient(self):
+        pred = randn(4, requires_grad=True)
+        target = randn(4)
+        nn.MSELoss()(pred, target).backward()
+        expected = 2 * (pred.data - target.data) / 4
+        assert np.allclose(pred.grad.data, expected)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = randn(5, 3)
+        targets = np.array([0, 2, 1, 1, 0])
+        loss = nn.CrossEntropyLoss()(logits, targets).item()
+        log_probs = ops.log_softmax(logits).data
+        manual = -log_probs[np.arange(5), targets].mean()
+        assert np.isclose(loss, manual)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((4, 7)))
+        loss = nn.CrossEntropyLoss()(logits, np.zeros(4))
+        assert np.isclose(loss.item(), np.log(7))
+
+    def test_gradient_sums_to_zero_per_row(self):
+        logits = randn(3, 5, requires_grad=True)
+        nn.CrossEntropyLoss()(logits, np.array([1, 2, 3])).backward()
+        assert np.abs(logits.grad.data.sum(axis=1)).max() < 1e-10
+
+    def test_accepts_tensor_targets(self):
+        logits = randn(2, 3)
+        loss = nn.CrossEntropyLoss()(logits, Tensor(np.array([0.0, 1.0])))
+        assert np.isfinite(loss.item())
+
+    def test_sum_reduction(self):
+        logits = randn(4, 3)
+        targets = np.array([0, 1, 2, 0])
+        mean = nn.CrossEntropyLoss("mean")(logits, targets).item()
+        total = nn.CrossEntropyLoss("sum")(logits, targets).item()
+        assert np.isclose(total, mean * 4)
+
+
+class TestNLL:
+    def test_equals_cross_entropy_via_log_softmax(self):
+        logits = randn(6, 4)
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        ce = nn.CrossEntropyLoss()(logits, targets).item()
+        nll = nn.NLLLoss()(ops.log_softmax(logits), targets).item()
+        assert np.isclose(ce, nll)

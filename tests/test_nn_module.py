@@ -1,0 +1,154 @@
+"""Module system: registration order, state, buffers, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, randn
+from repro.utils import manual_seed
+
+
+def make_net():
+    manual_seed(0)
+    return nn.Sequential(
+        nn.Linear(4, 8), nn.BatchNorm1d(8), nn.ReLU(), nn.Linear(8, 2)
+    )
+
+
+class TestRegistrationOrder:
+    def test_parameters_follow_definition_order(self):
+        net = make_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "1.weight", "1.bias", "3.weight", "3.bias"]
+
+    def test_order_is_deterministic_across_instances(self):
+        names1 = [n for n, _ in make_net().named_parameters()]
+        names2 = [n for n, _ in make_net().named_parameters()]
+        assert names1 == names2
+
+    def test_nested_modules(self):
+        class Outer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = nn.Linear(2, 2)
+                self.own = nn.Parameter(np.zeros(3))
+
+            def forward(self, x):
+                return self.inner(x) + self.own
+
+        outer = Outer()
+        names = [n for n, _ in outer.named_parameters()]
+        assert names == ["inner.weight", "inner.bias", "own"]
+
+    def test_reassigning_module_attribute(self):
+        net = make_net()
+        net.add_module("0", nn.Linear(4, 8))
+        assert len(list(net.parameters())) == 6
+
+    def test_parameter_identity_preserved(self):
+        net = make_net()
+        params1 = list(net.parameters())
+        params2 = list(net.parameters())
+        assert all(a is b for a, b in zip(params1, params2))
+
+
+class TestBuffers:
+    def test_batchnorm_registers_buffers(self):
+        names = [n for n, _ in make_net().named_buffers()]
+        assert names == ["1.running_mean", "1.running_var", "1.num_batches_tracked"]
+
+    def test_buffers_not_in_parameters(self):
+        net = make_net()
+        param_names = {n for n, _ in net.named_parameters()}
+        assert not any("running" in n for n in param_names)
+
+    def test_buffer_reassignment_stays_buffer(self):
+        bn = nn.BatchNorm1d(4)
+        bn.running_mean = Tensor(np.ones(4))
+        assert "running_mean" in dict(bn.named_buffers())
+        assert np.allclose(bn.running_mean.data, 1.0)
+
+    def test_register_buffer_accessible_as_attribute(self):
+        mod = nn.Module()
+        mod.register_buffer("stat", Tensor(np.zeros(2)))
+        assert mod.stat.shape == (2,)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = make_net()
+        state = net.state_dict()
+        other = make_net()
+        for p in other.parameters():
+            p.data[...] = 0.0
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.weight"][...] = 99.0
+        assert not np.any(next(net.parameters()).data == 99.0)
+
+    def test_includes_buffers(self):
+        assert "1.running_mean" in make_net().state_dict()
+
+    def test_mismatch_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        del state["0.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+        state["0.weight"] = np.zeros((8, 4))
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = make_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = make_net()
+        out = net(randn(4, 4))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_to_device_tags_everything(self):
+        net = make_net().to("gpu:3")
+        assert all(p.device == "gpu:3" for p in net.parameters())
+        assert all(b.device == "gpu:3" for b in net.buffers())
+
+    def test_num_parameters(self):
+        net = make_net()
+        expected = 4 * 8 + 8 + 8 + 8 + 8 * 2 + 2
+        assert net.num_parameters() == expected
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            make_net().nonexistent_thing
+
+
+class TestContainers:
+    def test_sequential_iteration_and_indexing(self):
+        net = make_net()
+        assert len(net) == 4
+        assert isinstance(net[0], nn.Linear)
+        assert len(list(iter(net))) == 4
+
+    def test_modulelist(self):
+        ml = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 4
+        assert len(list(ml.parameters())) == 8
+
+    def test_repr_contains_children(self):
+        assert "Linear" in repr(make_net())

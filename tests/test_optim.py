@@ -1,0 +1,186 @@
+"""Optimizer update rules and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, LambdaLR, StepLR
+
+
+def param_with_grad(value, grad):
+    p = Parameter(np.array(value, dtype=np.float64))
+    p.grad = Tensor(np.array(grad, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = param_with_grad([1.0], [0.5])
+        SGD([p], lr=0.1).step()
+        assert np.isclose(p.data[0], 1.0 - 0.05)
+
+    def test_momentum_matches_reference(self):
+        """v <- mu v + g; p <- p - lr v (torch semantics)."""
+        p = param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()  # v=1, p=-0.1
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1.9, p=-0.29
+        assert np.isclose(p.data[0], -0.29)
+
+    def test_nesterov(self):
+        p = param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        opt.step()  # v=1, update = g + mu*v = 1.9 -> p = -0.19
+        assert np.isclose(p.data[0], -0.19)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_weight_decay(self):
+        p = param_with_grad([2.0], [0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert np.isclose(p.data[0], 2.0 - 0.1 * (0.5 * 2.0))
+
+    def test_skips_grad_none(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=1.0).step()
+        assert np.array_equal(p.data, np.ones(2))
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_param_groups_with_different_lrs(self):
+        p1 = param_with_grad([0.0], [1.0])
+        p2 = param_with_grad([0.0], [1.0])
+        opt = SGD([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.01}], lr=1.0)
+        opt.step()
+        assert np.isclose(p1.data[0], -0.1)
+        assert np.isclose(p2.data[0], -0.01)
+
+    def test_zero_grad(self):
+        p = param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_duplicate_param_rejected(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([{"params": [p]}, {"params": [p]}], lr=0.1)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction the first Adam update ≈ lr * sign(g)."""
+        p = param_with_grad([0.0], [3.0])
+        Adam([p], lr=0.01).step()
+        assert np.isclose(p.data[0], -0.01, atol=1e-6)
+
+    def test_matches_reference_two_steps(self):
+        lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+        p = param_with_grad([1.0], [2.0])
+        opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        # manual reference
+        m = v = 0.0
+        theta = 1.0
+        for step, g in enumerate([2.0, -1.0], start=1):
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            mh, vh = m / (1 - b1**step), v / (1 - b2**step)
+            theta -= lr * mh / (np.sqrt(vh) + eps)
+        opt.step()
+        p.grad = Tensor(np.array([-1.0]))
+        opt.step()
+        assert np.isclose(p.data[0], theta, atol=1e-10)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_adamw_decoupled_decay(self):
+        """AdamW decays weights directly, independent of the gradient."""
+        p_adamw = param_with_grad([1.0], [0.0])
+        p_adam = param_with_grad([1.0], [0.0])
+        AdamW([p_adamw], lr=0.1, weight_decay=0.1).step()
+        Adam([p_adam], lr=0.1, weight_decay=0.1).step()
+        # With zero gradient AdamW still shrinks the weight multiplicatively.
+        assert np.isclose(p_adamw.data[0], 1.0 - 0.1 * 0.1 * 1.0)
+        # Coupled Adam turns decay into a gradient and normalizes it to ~lr.
+        assert p_adam.data[0] < p_adamw.data[0]
+
+    def test_state_is_per_parameter(self):
+        p1 = param_with_grad([0.0], [1.0])
+        p2 = param_with_grad([0.0], [1.0])
+        opt = Adam([p1, p2], lr=0.1)
+        opt.step()
+        assert opt.state_for(p1) is not opt.state_for(p2)
+        assert opt.state_for(p1)["step"] == 1
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.param_groups[0]["lr"], 0.0, atol=1e-12)
+
+    def test_cosine_halfway(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert np.isclose(opt.param_groups[0]["lr"], 0.5)
+
+    def test_lambda(self):
+        opt = self._opt()
+        sched = LambdaLR(opt, lambda epoch: 1.0 / (1 + epoch))
+        sched.step()
+        assert np.isclose(opt.param_groups[0]["lr"], 0.5)
+
+
+class TestTrainingDecreasesLoss:
+    @pytest.mark.parametrize("make_opt", [
+        lambda ps: SGD(ps, lr=0.1),
+        lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+        lambda ps: Adam(ps, lr=0.01),
+        lambda ps: AdamW(ps, lr=0.01, weight_decay=0.01),
+    ])
+    def test_loss_decreases(self, make_opt):
+        from repro.utils import manual_seed
+        from repro.autograd import randn
+
+        manual_seed(0)
+        net = nn.Sequential(nn.Linear(5, 16), nn.Tanh(), nn.Linear(16, 1))
+        x = randn(32, 5)
+        y = randn(32, 1)
+        opt = make_opt(list(net.parameters()))
+        loss_fn = nn.MSELoss()
+        first = loss_fn(net(x), y).item()
+        for _ in range(100):
+            opt.zero_grad()
+            loss = loss_fn(net(x), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.6

@@ -1,0 +1,211 @@
+"""Parameter averaging baseline and its §2.2 pitfalls."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core import DistributedDataParallel
+from repro.core.param_avg import ParameterAveragingTrainer, average_parameters
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+from conftest import run_world, small_classifier
+
+RNG = np.random.default_rng(21)
+X = RNG.standard_normal((8, 6))
+Y = RNG.integers(0, 4, 8)
+
+
+def local_reference(iters=6, momentum=0.9):
+    model = small_classifier()
+    opt = SGD(model.parameters(), lr=0.05, momentum=momentum)
+    loss_fn = nn.CrossEntropyLoss()
+    for _ in range(iters):
+        opt.zero_grad()
+        loss_fn(model(Tensor(X)), Y).backward()
+        opt.step()
+    return model.state_dict()
+
+
+class TestAverageParameters:
+    def test_average_equals_mean(self):
+        def body(rank):
+            manual_seed(rank)  # deliberately different weights
+            model = nn.Linear(3, 2)
+            pg = __import__("repro.comm", fromlist=["get_context"]).get_context().default_group
+            before = model.weight.data.copy()
+            average_parameters(model, pg)
+            return before, model.weight.data.copy()
+
+        results = run_world(2, body, backend="gloo")
+        mean = (results[0][0] + results[1][0]) / 2
+        assert np.allclose(results[0][1], mean)
+        assert np.allclose(results[1][1], mean)
+
+
+class TestDivergenceFromLocalTraining:
+    """The paper's §2.2 argument, measured.
+
+    A subtlety the measurement surfaces: with *per-step* averaging and a
+    purely linear optimizer (SGD+momentum), parameter averaging happens
+    to commute with gradient averaging.  The divergence the paper warns
+    about appears once the optimizer state is a nonlinear function of
+    local gradients (Adam's second moment) or once averaging is
+    periodic (parameters drift apart between averages).
+    """
+
+    def _adam_reference(self, iters=6):
+        from repro.optim import Adam
+
+        model = small_classifier()
+        opt = Adam(model.parameters(), lr=0.05)
+        loss_fn = nn.CrossEntropyLoss()
+        for _ in range(iters):
+            opt.zero_grad()
+            loss_fn(model(Tensor(X)), Y).backward()
+            opt.step()
+        return model.state_dict()
+
+    def test_adam_states_diverge_but_ddp_matches(self):
+        from repro.optim import Adam
+
+        reference = self._adam_reference()
+
+        def ddp_body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model)
+            opt = Adam(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(6):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            return ddp.state_dict()
+
+        def avg_body(rank):
+            from repro.comm import get_context
+
+            model = small_classifier()
+            pg = get_context().default_group
+            opt = Adam(model.parameters(), lr=0.05)
+            trainer = ParameterAveragingTrainer(model, opt, pg)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(6):
+                trainer.zero_grad()
+                loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+                trainer.step()
+            return model.state_dict()
+
+        ddp_states = run_world(2, ddp_body, backend="gloo")
+        avg_states = run_world(2, avg_body, backend="gloo")
+
+        ddp_err = max(
+            np.abs(ddp_states[0][n] - reference[n]).max() for n in reference
+        )
+        avg_err = max(
+            np.abs(avg_states[0][n] - reference[n]).max() for n in reference
+        )
+        assert ddp_err < 1e-9
+        assert avg_err > 1000 * max(ddp_err, 1e-12)
+
+    def test_periodic_averaging_diverges_even_with_momentum(self):
+        reference = local_reference(iters=6, momentum=0.9)
+
+        def avg_body(rank):
+            from repro.comm import get_context
+
+            model = small_classifier()
+            pg = get_context().default_group
+            opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            trainer = ParameterAveragingTrainer(model, opt, pg, average_every=2)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(6):
+                trainer.zero_grad()
+                loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+                trainer.step()
+            return model.state_dict()
+
+        avg_states = run_world(2, avg_body, backend="gloo")
+        avg_err = max(
+            np.abs(avg_states[0][n] - reference[n]).max() for n in reference
+        )
+        assert avg_err > 1e-6
+
+    def test_per_step_averaging_with_linear_optimizer_matches(self):
+        """The commuting case: per-step averaging + momentum SGD equals
+        gradient averaging (the divergence needs nonlinearity)."""
+        reference = local_reference(iters=4, momentum=0.9)
+
+        def avg_body(rank):
+            from repro.comm import get_context
+
+            model = small_classifier()
+            pg = get_context().default_group
+            opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            trainer = ParameterAveragingTrainer(model, opt, pg)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(4):
+                trainer.zero_grad()
+                loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+                trainer.step()
+            return model.state_dict()
+
+        avg_states = run_world(2, avg_body, backend="gloo")
+        for name in reference:
+            assert np.allclose(avg_states[0][name], reference[name], atol=1e-9)
+
+    def test_without_momentum_single_average_matches_gradient_averaging(self):
+        """Plain SGD, one iteration: averaging parameters after the step
+        equals averaging gradients before it (the divergence needs
+        stateful optimizers or multiple steps)."""
+
+        def avg_body(rank):
+            from repro.comm import get_context
+
+            model = small_classifier()
+            pg = get_context().default_group
+            opt = SGD(model.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            opt.zero_grad()
+            loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+            opt.step()
+            average_parameters(model, pg)
+            return model.state_dict()
+
+        reference = local_reference(iters=1, momentum=0.0)
+        avg_states = run_world(2, avg_body, backend="gloo")
+        for name in reference:
+            assert np.allclose(avg_states[0][name], reference[name], atol=1e-9)
+
+
+class TestTrainerMechanics:
+    def test_average_every_n(self):
+        def body(rank):
+            from repro.comm import get_context
+
+            manual_seed(rank)
+            model = nn.Linear(2, 2)
+            pg = get_context().default_group
+            opt = SGD(model.parameters(), lr=0.0)  # no local movement
+            trainer = ParameterAveragingTrainer(model, opt, pg, average_every=2)
+            w0 = model.weight.data.copy()
+            model.weight.grad = Tensor(np.zeros_like(model.weight.data))
+            trainer.step()  # no averaging yet
+            unchanged = np.allclose(model.weight.data, w0)
+            trainer.step()  # averaging happens
+            return unchanged, model.weight.data.copy()
+
+        results = run_world(2, body, backend="gloo")
+        assert results[0][0] and results[1][0]
+        assert np.allclose(results[0][1], results[1][1])
+
+    def test_invalid_average_every(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ParameterAveragingTrainer(None, None, None, average_every=0)

@@ -1,0 +1,140 @@
+"""The parameter-server baseline (paper §2.3 contrast)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.baselines import run_parameter_server_training
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+from conftest import small_classifier
+
+RNG = np.random.default_rng(41)
+X = RNG.standard_normal((8, 6))
+Y = RNG.integers(0, 4, 8)
+
+
+def local_reference(iters, lr=0.05):
+    model = small_classifier()
+    opt = SGD(model.parameters(), lr=lr)
+    loss_fn = nn.CrossEntropyLoss()
+    for _ in range(iters):
+        opt.zero_grad()
+        loss_fn(model(Tensor(X)), Y).backward()
+        opt.step()
+    return model.state_dict()
+
+
+def worker_fn(worker_index, iteration, model):
+    loss_fn = nn.CrossEntropyLoss()
+    shard = slice(worker_index * 4, (worker_index + 1) * 4)
+    loss_fn(model(Tensor(X[shard])), Y[shard]).backward()
+
+
+class TestSyncParameterServer:
+    def test_equivalent_to_local_full_batch(self):
+        """Sync PS with plain SGD == local full-batch training: the
+        server averages worker gradients exactly like AllReduce."""
+        iters = 5
+        reference = local_reference(iters)
+        server_state, worker_states = run_parameter_server_training(
+            world_size=3,  # server + 2 workers
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.05),
+            worker_fn=worker_fn,
+            iterations=iters,
+            mode="sync",
+        )
+        for name in reference:
+            assert np.allclose(server_state["state"][name], reference[name], atol=1e-9)
+
+    def test_workers_end_with_server_params(self):
+        server_state, worker_states = run_parameter_server_training(
+            world_size=3,
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.05),
+            worker_fn=worker_fn,
+            iterations=3,
+            mode="sync",
+        )
+        for state in worker_states:
+            for name in server_state["state"]:
+                assert np.allclose(state[name], server_state["state"][name])
+
+    def test_one_update_per_round(self):
+        server_state, _ = run_parameter_server_training(
+            world_size=3,
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.05),
+            worker_fn=worker_fn,
+            iterations=4,
+            mode="sync",
+        )
+        assert server_state["updates"] == 4
+
+
+class TestAsyncParameterServer:
+    def test_applies_every_push(self):
+        """Async mode applies one update per worker push (2 workers × n)."""
+        server_state, _ = run_parameter_server_training(
+            world_size=3,
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.02),
+            worker_fn=worker_fn,
+            iterations=4,
+            mode="async",
+        )
+        assert server_state["updates"] == 8
+
+    def test_async_converges_roughly(self):
+        """Stale gradients still make progress on an easy problem."""
+        def loss_of(state):
+            model = small_classifier()
+            model.load_state_dict(state)
+            return nn.CrossEntropyLoss()(model(Tensor(X)), Y).item()
+
+        manual_seed(7)
+        initial_loss = loss_of(small_classifier().state_dict())
+        server_state, _ = run_parameter_server_training(
+            world_size=3,
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.02),
+            worker_fn=worker_fn,
+            iterations=25,
+            mode="async",
+        )
+        assert loss_of(server_state["state"]) < initial_loss * 0.9
+
+    def test_async_not_equivalent_to_local(self):
+        """The §2.3 point: async P2P training loses equivalence."""
+        iters = 6
+        reference = local_reference(iters, lr=0.05)
+        server_state, _ = run_parameter_server_training(
+            world_size=3,
+            make_model=small_classifier,
+            make_optimizer=lambda m: SGD(m.parameters(), lr=0.05),
+            worker_fn=worker_fn,
+            iterations=iters,
+            mode="async",
+        )
+        drift = max(
+            np.abs(server_state["state"][n] - reference[n]).max() for n in reference
+        )
+        assert drift > 1e-6
+
+
+class TestValidation:
+    def test_needs_two_ranks(self):
+        with pytest.raises(ValueError):
+            run_parameter_server_training(
+                1, small_classifier, lambda m: SGD(m.parameters(), lr=0.1),
+                worker_fn, 1,
+            )
+
+    def test_invalid_mode(self):
+        from repro.baselines import ParameterServer
+
+        with pytest.raises(ValueError):
+            ParameterServer(None, None, None, 0, [1], mode="bogus")

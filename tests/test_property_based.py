@@ -1,0 +1,190 @@
+"""Property-based tests of the core invariants (hypothesis)."""
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd.function import unbroadcast
+from repro.comm import algorithms as alg
+from repro.comm.transport import TransportHub
+from repro.core.bucket import compute_bucket_assignment, validate_assignment
+from repro.data import DistributedSampler, TensorDataset
+from repro.nn.module import Parameter
+
+# ---------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------
+
+world_sizes = st.integers(min_value=1, max_value=6)
+payload_sizes = st.integers(min_value=1, max_value=40)
+param_size_lists = st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=24)
+
+
+def _run_ranks(world, fn):
+    hub = TransportHub(world, default_timeout=10)
+    results = [None] * world
+    errors = []
+
+    def worker(rank):
+        try:
+            results[rank] = fn(hub, rank)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(world)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(20)
+    assert not errors, errors
+    return results
+
+
+# ---------------------------------------------------------------------
+# collective algorithms
+# ---------------------------------------------------------------------
+
+
+class TestAllReduceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(world=world_sizes, size=payload_sizes, seed=st.integers(0, 2**16),
+           algorithm=st.sampled_from(sorted(alg.ALLREDUCE_ALGORITHMS)))
+    def test_allreduce_equals_sum(self, world, size, seed, algorithm):
+        rng = np.random.default_rng(seed)
+        inputs = [rng.standard_normal(size) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+        fn = alg.ALLREDUCE_ALGORITHMS[algorithm]
+
+        def body(hub, rank):
+            buf = inputs[rank].copy()
+            fn(hub, list(range(world)), rank, buf, "sum", tag="p")
+            return buf
+
+        for out in _run_ranks(world, body):
+            assert np.allclose(out, expected, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(world=st.integers(2, 5), size=payload_sizes, seed=st.integers(0, 2**16))
+    def test_allreduce_idempotent_shape_and_dtype(self, world, size, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [rng.integers(0, 100, size).astype(np.int64) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+
+        def body(hub, rank):
+            buf = inputs[rank].copy()
+            alg.allreduce_ring(hub, list(range(world)), rank, buf, "sum", tag="p")
+            return buf
+
+        for out in _run_ranks(world, body):
+            assert out.dtype == np.int64
+            assert np.array_equal(out, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(world=world_sizes, size=payload_sizes, seed=st.integers(0, 2**16),
+           root=st.integers(0, 5))
+    def test_broadcast_copies_root(self, world, size, seed, root):
+        root = root % world
+        rng = np.random.default_rng(seed)
+        payload = rng.standard_normal(size)
+
+        def body(hub, rank):
+            buf = payload.copy() if rank == root else np.zeros(size)
+            alg.broadcast(hub, list(range(world)), rank, buf, root=root, tag="p")
+            return buf
+
+        for out in _run_ranks(world, body):
+            assert np.array_equal(out, payload)
+
+
+# ---------------------------------------------------------------------
+# bucket assignment
+# ---------------------------------------------------------------------
+
+
+class TestBucketProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=param_size_lists, cap=st.integers(0, 2048))
+    def test_assignment_is_partition(self, sizes, cap):
+        params = [Parameter(np.zeros(s)) for s in sizes]
+        buckets = compute_bucket_assignment(params, bucket_cap_bytes=cap)
+        validate_assignment(buckets, len(params))
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=param_size_lists, cap=st.integers(1, 2048))
+    def test_concatenated_indices_are_reverse_order(self, sizes, cap):
+        params = [Parameter(np.zeros(s)) for s in sizes]
+        buckets = compute_bucket_assignment(params, bucket_cap_bytes=cap)
+        flattened = [i for b in buckets for i in b.param_indices]
+        assert flattened == list(reversed(range(len(params))))
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=param_size_lists, cap=st.integers(1, 2048))
+    def test_multi_param_buckets_respect_cap(self, sizes, cap):
+        params = [Parameter(np.zeros(s)) for s in sizes]
+        for bucket in compute_bucket_assignment(params, bucket_cap_bytes=cap):
+            if len(bucket.param_indices) > 1:
+                assert bucket.total_elements * 8 <= cap
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=param_size_lists, cap=st.integers(1, 2048))
+    def test_offsets_tile_buffer_exactly(self, sizes, cap):
+        params = [Parameter(np.zeros(s)) for s in sizes]
+        for bucket in compute_bucket_assignment(params, bucket_cap_bytes=cap):
+            position = 0
+            for offset, size in zip(bucket.offsets, bucket.sizes):
+                assert offset == position
+                position += size
+            assert position == bucket.total_elements
+
+
+# ---------------------------------------------------------------------
+# unbroadcast / sampler
+# ---------------------------------------------------------------------
+
+
+class TestUnbroadcastProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shape=st.lists(st.integers(1, 4), min_size=0, max_size=3),
+        extra=st.lists(st.integers(1, 3), min_size=0, max_size=2),
+        mask=st.data(),
+    )
+    def test_inverts_broadcasting(self, shape, extra, mask):
+        shape = tuple(shape)
+        # randomly set some dims to 1 so broadcasting happens
+        reduced = tuple(
+            1 if mask.draw(st.booleans()) else dim for dim in shape
+        )
+        source = np.ones(reduced)
+        broadcast_shape = tuple(extra) + shape
+        grad = np.ones(broadcast_shape) if np.prod(broadcast_shape, initial=1) else np.ones(shape)
+        try:
+            broadcasted = np.broadcast_to(source, broadcast_shape)
+        except ValueError:
+            return  # incompatible draw; skip
+        out = unbroadcast(np.ones(broadcasted.shape), reduced)
+        assert out.shape == reduced
+        # gradient mass is conserved
+        assert np.isclose(out.sum(), np.prod(broadcast_shape, initial=1.0))
+
+
+class TestSamplerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 64),
+        replicas=st.integers(1, 8),
+        epoch=st.integers(0, 3),
+        shuffle=st.booleans(),
+    )
+    def test_shards_cover_dataset(self, n, replicas, epoch, shuffle):
+        ds = TensorDataset(np.arange(n))
+        shards = []
+        for rank in range(replicas):
+            sampler = DistributedSampler(ds, replicas, rank, shuffle=shuffle)
+            sampler.set_epoch(epoch)
+            shards.append(list(sampler))
+        lengths = {len(s) for s in shards}
+        assert len(lengths) == 1  # identical shard sizes (DDP requirement)
+        combined = set(i for shard in shards for i in shard)
+        assert combined == set(range(n))

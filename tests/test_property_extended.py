@@ -1,0 +1,197 @@
+"""Extended property-based coverage: DDP equivalence over random
+architectures, compression error bounds, ZeRO partitions, hierarchical
+allreduce, simulator invariants."""
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import algorithms as alg
+from repro.comm.transport import TransportHub
+from repro.simulation import SimulationConfig, TrainingSimulator
+from repro.simulation.models import resnet50_profile
+from repro.utils import manual_seed
+
+
+class TestDdpEquivalenceProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        hidden=st.lists(st.integers(2, 12), min_size=1, max_size=3),
+        world=st.sampled_from([2, 4]),
+        lr=st.floats(0.001, 0.2),
+        seed=st.integers(0, 1000),
+    )
+    def test_random_mlp_ddp_matches_local(self, hidden, world, lr, seed):
+        """For arbitrary MLP shapes, worlds, and learning rates, DDP
+        training equals local full-batch training."""
+        from repro.comm import run_distributed
+        from repro.core import DistributedDataParallel
+        from repro.optim import SGD
+
+        rng = np.random.default_rng(seed)
+        batch = world * 2
+        X = rng.standard_normal((batch, 5))
+        Y = rng.integers(0, 3, batch)
+        loss_fn = nn.CrossEntropyLoss()
+
+        def make_model():
+            manual_seed(seed)
+            layers = []
+            previous = 5
+            for width in hidden:
+                layers += [nn.Linear(previous, width), nn.Tanh()]
+                previous = width
+            layers.append(nn.Linear(previous, 3))
+            return nn.Sequential(*layers)
+
+        reference = make_model()
+        opt = SGD(reference.parameters(), lr=lr)
+        for _ in range(2):
+            opt.zero_grad()
+            loss_fn(reference(Tensor(X)), Y).backward()
+            opt.step()
+        expected = reference.state_dict()
+
+        def body(rank):
+            model = make_model()
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.00005)
+            opt = SGD(ddp.parameters(), lr=lr)
+            per = batch // world
+            shard = slice(rank * per, (rank + 1) * per)
+            for _ in range(2):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            return ddp.state_dict()
+
+        states = run_distributed(world, body, backend="gloo", timeout=20)
+        for state in states:
+            for name in expected:
+                assert np.allclose(state[name], expected[name], atol=1e-8)
+
+
+class TestHierarchicalAllreduceProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        world=st.integers(2, 10),
+        group_size=st.integers(2, 5),
+        size=st.integers(1, 30),
+        seed=st.integers(0, 999),
+    )
+    def test_matches_sum(self, world, group_size, size, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [rng.standard_normal(size) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+        hub = TransportHub(world, default_timeout=10)
+        outputs = [None] * world
+        errors = []
+
+        def body(rank):
+            try:
+                buf = inputs[rank].copy()
+                alg.allreduce_hierarchical(
+                    hub, list(range(world)), rank, buf, "sum",
+                    tag="h", group_size=group_size,
+                )
+                outputs[rank] = buf
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=body, args=(r,)) for r in range(world)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+        assert not errors, errors
+        for out in outputs:
+            assert np.allclose(out, expected)
+
+
+class TestCompressionErrorBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(1e-6, 1e4), size=st.integers(1, 64), seed=st.integers(0, 999))
+    def test_fp16_roundtrip_error_bounded(self, scale, size, seed):
+        """fp16 wire encoding loses at most ~2^-10 relative precision."""
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(size) * scale
+        roundtrip = values.astype(np.float16).astype(np.float64)
+        finite = np.isfinite(roundtrip)
+        assert finite.all() or scale > 1e4 / 2  # fp16 overflow only at huge scales
+        err = np.abs(values[finite] - roundtrip[finite])
+        # relative precision 2^-10, plus the fp16 subnormal floor for
+        # magnitudes below ~6e-5
+        subnormal_floor = float(np.finfo(np.float16).smallest_subnormal)
+        assert np.all(err <= np.abs(values[finite]) * 2**-10 + subnormal_floor)
+
+
+class TestZeroPartitionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 100), min_size=1, max_size=20),
+        world=st.integers(1, 6),
+    )
+    def test_partition_covers_and_balances(self, sizes, world):
+        from repro.baselines.zero import ZeroRedundancyOptimizer
+        from repro.nn.module import Parameter
+
+        class _PG:
+            def __init__(self, size, rank):
+                self.size = size
+                self.group_rank = rank
+
+            def broadcast(self, tensor, src=0):
+                pass
+
+        params = [Parameter(np.zeros(s)) for s in sizes]
+        owner_maps = []
+        for rank in range(world):
+            zro = ZeroRedundancyOptimizer(
+                params, lambda shard: None, _PG(world, rank)
+            )
+            owner_maps.append(zro.owner_of)
+        # identical on every rank, covers every parameter
+        assert all(m == owner_maps[0] for m in owner_maps)
+        assert set(owner_maps[0]) == set(range(len(params)))
+        # load balance: no rank exceeds max single param + fair share
+        loads = [0] * world
+        for index, owner in owner_maps[0].items():
+            loads[owner] += params[index].numel()
+        fair = sum(sizes) / world
+        assert max(loads) <= fair + max(sizes)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        world=st.sampled_from([2, 8, 16, 32, 64]),
+        cap=st.sampled_from([1, 5, 25, 100]),
+        backend=st.sampled_from(["nccl", "gloo"]),
+        streams=st.sampled_from([1, 3]),
+    )
+    def test_overlap_never_hurts(self, world, cap, backend, streams):
+        base = SimulationConfig(
+            model=resnet50_profile(), world_size=world, backend=backend,
+            bucket_cap_mb=cap, num_comm_streams=streams,
+        )
+        overlapped = TrainingSimulator(base).simulate_iteration(0).total
+        boundary = TrainingSimulator(base.with_(overlap=False)).simulate_iteration(0).total
+        assert overlapped <= boundary + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        world=st.sampled_from([2, 8, 32]),
+        cap=st.sampled_from([1, 25]),
+        backend=st.sampled_from(["nccl", "gloo"]),
+    )
+    def test_exposed_comm_never_exceeds_total(self, world, cap, backend):
+        sim = TrainingSimulator(
+            SimulationConfig(
+                model=resnet50_profile(), world_size=world, backend=backend,
+                bucket_cap_mb=cap,
+            )
+        )
+        result = sim.simulate_iteration(0)
+        assert 0 <= result.backward_comm_exposed <= result.backward_comm_total + 1e-12

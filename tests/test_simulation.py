@@ -1,0 +1,235 @@
+"""Streams, model profiles, and the iteration simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    SimulationConfig,
+    Stream,
+    Timeline,
+    TrainingSimulator,
+    bert_profile,
+    resnet50_profile,
+    resnet152_profile,
+)
+from repro.simulation.models import profile_by_name
+from repro.simnet import SharedEntitlement
+
+
+class TestStreams:
+    def test_serial_execution(self):
+        s = Stream("comm")
+        op1 = s.schedule("a", ready=0.0, duration=2.0)
+        op2 = s.schedule("b", ready=1.0, duration=1.0)
+        assert op1.start == 0.0 and op1.end == 2.0
+        assert op2.start == 2.0  # waits for stream, not just readiness
+        assert op2.queueing_delay == 1.0
+
+    def test_idle_gap_respected(self):
+        s = Stream("comm")
+        s.schedule("a", ready=0.0, duration=1.0)
+        op = s.schedule("b", ready=5.0, duration=1.0)
+        assert op.start == 5.0
+
+    def test_busy_time(self):
+        s = Stream("comm")
+        s.schedule("a", 0.0, 1.0)
+        s.schedule("b", 10.0, 2.0)
+        assert s.busy_time() == 3.0
+
+    def test_timeline_makespan(self):
+        tl = Timeline()
+        tl.stream("x").schedule("a", 0.0, 1.0)
+        tl.stream("y").schedule("b", 0.0, 5.0)
+        assert tl.makespan() == 5.0
+        assert len(tl.ops()) == 2
+        tl.reset()
+        assert tl.makespan() == 0.0
+
+
+class TestModelProfiles:
+    def test_resnet50_size(self):
+        p = resnet50_profile()
+        assert 25e6 < p.num_params < 26.5e6
+        assert p.num_tensors > 150
+
+    def test_resnet152_size(self):
+        p = resnet152_profile()
+        assert 59e6 < p.num_params < 62e6
+
+    def test_bert_is_about_15x_resnet50(self):
+        ratio = bert_profile().num_params / resnet50_profile().num_params
+        assert 12 < ratio < 15
+
+    def test_gradient_bytes_fp32(self):
+        p = resnet50_profile()
+        assert p.gradient_bytes == p.num_params * 4
+
+    def test_profile_by_name(self):
+        assert profile_by_name("resnet50").name == "resnet50"
+        with pytest.raises(ValueError):
+            profile_by_name("alexnet")
+
+    def test_profiles_have_many_small_tensors(self):
+        """Bucketing matters because of tiny BatchNorm/bias tensors."""
+        p = resnet50_profile()
+        small = sum(1 for spec in p.params if spec.numel() < 10_000)
+        assert small > len(p.params) / 2
+
+
+class TestSimulatorInvariants:
+    def _sim(self, **overrides):
+        defaults = dict(model=resnet50_profile(), world_size=16, backend="nccl")
+        defaults.update(overrides)
+        return TrainingSimulator(SimulationConfig(**defaults))
+
+    def test_deterministic_given_seed(self):
+        a = self._sim().simulate_iteration(3)
+        b = self._sim().simulate_iteration(3)
+        assert a.total == b.total
+
+    def test_world_one_has_no_comm(self):
+        result = self._sim(world_size=1).simulate_iteration(0)
+        assert result.backward_comm_total == 0.0
+        assert not result.synced
+
+    def test_overlap_never_slower(self):
+        for backend in ("nccl", "gloo"):
+            with_overlap = self._sim(backend=backend).breakdown()
+            without = self._sim(backend=backend, overlap=False).breakdown()
+            assert with_overlap["total"] <= without["total"] + 1e-9
+
+    def test_overlap_hides_communication(self):
+        result = self._sim().simulate_iteration(0)
+        assert result.backward_comm_exposed < result.backward_comm_total
+
+    def test_comm_grows_with_world(self):
+        small = self._sim(world_size=2).breakdown()
+        large = self._sim(world_size=32).breakdown()
+        assert large["backward_comm_total"] > small["backward_comm_total"]
+
+    def test_gloo_slower_than_nccl(self):
+        nccl = self._sim(backend="nccl").median_latency(8)
+        gloo = self._sim(backend="gloo").median_latency(8)
+        assert gloo > nccl * 1.5
+
+    def test_bert_slower_than_resnet(self):
+        resnet = self._sim().median_latency(4)
+        bert = self._sim(model=bert_profile()).median_latency(4)
+        assert bert > resnet * 2
+
+    def test_skip_sync_reduces_average_latency(self):
+        always = self._sim(world_size=32, sync_every=1).average_latency(16)
+        skip8 = self._sim(world_size=32, sync_every=8).average_latency(16)
+        assert skip8 < always
+
+    def test_sync_cadence(self):
+        sim = self._sim(sync_every=4)
+        flags = [sim.simulate_iteration(i).synced for i in range(8)]
+        assert flags == [True, False, False, False] * 2
+
+    def test_bucket_extremes_worse_than_middle(self):
+        """Fig. 7: 0 MB is bad; the optimum is an intermediate size."""
+        per_grad = self._sim(bucket_cap_mb=0.0).median_latency(6)
+        middle = self._sim(bucket_cap_mb=25.0).median_latency(6)
+        assert per_grad > middle * 1.2
+
+    def test_bert_prefers_larger_buckets_than_resnet(self):
+        """§5.2: the optimal bucket size grows with model size."""
+
+        def best_cap(model, caps):
+            latencies = [
+                TrainingSimulator(
+                    SimulationConfig(
+                        model=model, world_size=16, backend="nccl", bucket_cap_mb=c
+                    )
+                ).median_latency(6)
+                for c in caps
+            ]
+            return caps[int(np.argmin(latencies))]
+
+        caps = [5, 10, 25, 50, 100]
+        assert best_cap(resnet50_profile(), caps) <= 25
+        assert best_cap(bert_profile(), caps) >= 50
+
+    def test_round_robin_helps_bert_more_than_resnet(self):
+        """Fig. 12: rr3 mostly helps large-model NCCL runs."""
+
+        def gain(model):
+            rr1 = TrainingSimulator(
+                SimulationConfig(model=model, world_size=16, backend="nccl")
+            ).median_latency(6)
+            rr3 = TrainingSimulator(
+                SimulationConfig(
+                    model=model, world_size=16, backend="nccl", num_comm_streams=3
+                )
+            ).median_latency(6)
+            return 1 - rr3 / rr1
+
+        assert gain(bert_profile()) > gain(resnet50_profile()) + 0.1
+
+    def test_find_unused_adds_bitmap_cost(self):
+        plain = self._sim(world_size=32).breakdown()
+        unused = self._sim(world_size=32, find_unused_parameters=True).breakdown()
+        assert unused["backward_comm_total"] > plain["backward_comm_total"]
+
+    def test_entitlement_degradation_slows_large_scale(self):
+        ideal = self._sim(world_size=32).median_latency(6)
+        shared = TrainingSimulator(
+            SimulationConfig(
+                model=resnet50_profile(),
+                world_size=32,
+                backend="nccl",
+                entitlement=SharedEntitlement(),
+            )
+        ).median_latency(6)
+        assert shared > ideal
+
+    def test_breakdown_keys(self):
+        parts = self._sim().breakdown()
+        assert set(parts) == {
+            "forward",
+            "backward_compute",
+            "backward_comm_exposed",
+            "backward_comm_total",
+            "optimizer",
+            "total",
+        }
+        assert parts["total"] == pytest.approx(
+            parts["forward"]
+            + parts["backward_compute"]
+            + parts["backward_comm_exposed"]
+            + parts["optimizer"]
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSimulator(SimulationConfig(model=resnet50_profile(), world_size=0))
+        with pytest.raises(ValueError):
+            TrainingSimulator(
+                SimulationConfig(model=resnet50_profile(), world_size=2, sync_every=0)
+            )
+        with pytest.raises(ValueError):
+            TrainingSimulator(
+                SimulationConfig(
+                    model=resnet50_profile(), world_size=2, num_comm_streams=0
+                )
+            )
+
+    def test_with_override(self):
+        cfg = SimulationConfig(model=resnet50_profile(), world_size=4)
+        cfg2 = cfg.with_(world_size=8)
+        assert cfg.world_size == 4 and cfg2.world_size == 8
+
+    def test_gradient_ready_times_reverse_order(self):
+        sim = self._sim()
+        ready = sim.gradient_ready_times(np.random.default_rng(0))
+        # earlier (definition-order) parameters become ready later
+        assert ready[0] == ready.max()
+        assert ready[-1] == ready.min()
+
+    def test_scalability_curve_monotone_with_ideal_network(self):
+        latencies = [
+            self._sim(world_size=w).median_latency(4) for w in (2, 8, 16, 32)
+        ]
+        assert latencies[-1] >= latencies[0]

@@ -1,0 +1,169 @@
+"""Rendezvous store and point-to-point transport."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.store import Store, StoreTimeoutError
+from repro.comm.transport import (
+    TransportClosedError,
+    TransportHub,
+    TransportTimeoutError,
+)
+
+
+class TestStore:
+    def test_set_get(self):
+        store = Store()
+        store.set("k", 42)
+        assert store.get("k") == 42
+
+    def test_get_blocks_until_set(self):
+        store = Store()
+        result = []
+
+        def reader():
+            result.append(store.get("slow", timeout=5))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        store.set("slow", "value")
+        t.join(timeout=5)
+        assert result == ["value"]
+
+    def test_get_timeout(self):
+        with pytest.raises(StoreTimeoutError):
+            Store().get("missing", timeout=0.05)
+
+    def test_add_atomicity(self):
+        store = Store()
+        threads = [
+            threading.Thread(target=lambda: [store.add("n") for _ in range(100)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get("n") == 800
+
+    def test_add_returns_new_value(self):
+        store = Store()
+        assert store.add("x", 5) == 5
+        assert store.add("x", 2) == 7
+
+    def test_wait_multiple_keys(self):
+        store = Store()
+        store.set("a", 1)
+        store.set("b", 2)
+        store.wait(["a", "b"], timeout=0.1)
+
+    def test_wait_timeout_reports_missing(self):
+        store = Store()
+        store.set("a", 1)
+        with pytest.raises(StoreTimeoutError, match="b"):
+            store.wait(["a", "b"], timeout=0.05)
+
+    def test_wait_value_predicate(self):
+        store = Store()
+        store.set("count", 3)
+        assert store.wait_value("count", lambda v: v >= 3, timeout=0.1) == 3
+
+    def test_delete_and_keys(self):
+        store = Store()
+        store.set("a", 1)
+        assert store.delete("a")
+        assert not store.delete("a")
+        assert store.keys() == []
+
+
+class TestTransport:
+    def test_send_recv(self):
+        hub = TransportHub(2)
+        hub.send(0, 1, "t", np.arange(3))
+        assert np.array_equal(hub.recv(1, 0, "t"), np.arange(3))
+
+    def test_fifo_per_mailbox(self):
+        hub = TransportHub(2)
+        hub.send(0, 1, "t", 1)
+        hub.send(0, 1, "t", 2)
+        assert hub.recv(1, 0, "t") == 1
+        assert hub.recv(1, 0, "t") == 2
+
+    def test_tags_isolate(self):
+        hub = TransportHub(2)
+        hub.send(0, 1, "a", "A")
+        hub.send(0, 1, "b", "B")
+        assert hub.recv(1, 0, "b") == "B"
+        assert hub.recv(1, 0, "a") == "A"
+
+    def test_recv_blocks_until_send(self):
+        hub = TransportHub(2)
+        out = []
+
+        def receiver():
+            out.append(hub.recv(1, 0, "x", timeout=5))
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        time.sleep(0.05)
+        hub.send(0, 1, "x", 99)
+        t.join(timeout=5)
+        assert out == [99]
+
+    def test_recv_timeout_message_names_ranks(self):
+        hub = TransportHub(2)
+        with pytest.raises(TransportTimeoutError, match="rank 1 timed out"):
+            hub.recv(1, 0, "never", timeout=0.05)
+
+    def test_rank_bounds_checked(self):
+        hub = TransportHub(2)
+        with pytest.raises(ValueError):
+            hub.send(0, 5, "t", 1)
+        with pytest.raises(ValueError):
+            hub.recv(-1, 0, "t")
+
+    def test_close_wakes_receivers(self):
+        hub = TransportHub(2)
+        errors = []
+
+        def receiver():
+            try:
+                hub.recv(1, 0, "x", timeout=10)
+            except TransportClosedError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        time.sleep(0.05)
+        hub.close()
+        t.join(timeout=5)
+        assert len(errors) == 1
+
+    def test_send_after_close_rejected(self):
+        hub = TransportHub(2)
+        hub.close()
+        with pytest.raises(TransportClosedError):
+            hub.send(0, 1, "t", 1)
+
+    def test_stats_counting(self):
+        hub = TransportHub(2)
+        hub.send(0, 1, "t", np.zeros(10))
+        assert hub.messages_sent[0] == 1
+        assert hub.bytes_sent[0] == 80
+        hub.reset_stats()
+        assert hub.messages_sent == [0, 0]
+
+    def test_pending_messages(self):
+        hub = TransportHub(2)
+        hub.send(0, 1, "t", 1)
+        assert hub.pending_messages() == 1
+        hub.recv(1, 0, "t")
+        assert hub.pending_messages() == 0
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            TransportHub(0)

@@ -1,0 +1,47 @@
+"""Table 1 taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    TRAINING_SOLUTIONS,
+    render_table1,
+    solutions_supporting,
+)
+
+
+class TestTable1:
+    def test_fifteen_solutions(self):
+        assert len(TRAINING_SOLUTIONS) == 15
+
+    def test_pt_ddp_row_matches_paper(self):
+        ddp = next(s for s in TRAINING_SOLUTIONS if s.name == "PT DDP")
+        assert ddp.schemes() == "SID"
+
+    def test_zero_row_matches_paper(self):
+        zero = next(s for s in TRAINING_SOLUTIONS if s.name == "ZeRO")
+        assert zero.schemes() == "SIDM"
+
+    def test_pipedream_row(self):
+        pd = next(s for s in TRAINING_SOLUTIONS if s.name == "PipeDream")
+        assert pd.schemes() == "SACDM"
+
+    def test_every_solution_has_a_scheme(self):
+        assert all(s.schemes() for s in TRAINING_SOLUTIONS)
+
+    def test_render_contains_all_names(self):
+        text = render_table1()
+        for solution in TRAINING_SOLUTIONS:
+            assert solution.name in text
+
+    def test_render_header(self):
+        assert render_table1().splitlines()[0].split()[-6:] == list("SACIDM")
+
+    def test_solutions_supporting(self):
+        data_parallel = solutions_supporting("D")
+        assert "PT DDP" in data_parallel and "Horovod" in data_parallel
+        assert "GPipe" not in data_parallel
+        with pytest.raises(ValueError):
+            solutions_supporting("Z")
+
+    def test_synchronous_majority(self):
+        assert len(solutions_supporting("S")) >= 12

@@ -1,0 +1,142 @@
+"""Tensor type behavior."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, arange, full, ones, randn, tensor, zeros
+from repro.utils import manual_seed
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_from_tensor_copies_device(self):
+        src = Tensor(np.zeros(3), device="gpu:1")
+        dup = Tensor(src)
+        assert dup.device == "gpu:1"
+
+    def test_integer_requires_grad_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_factories(self):
+        assert zeros(2, 3).data.sum() == 0
+        assert ones(4).data.sum() == 4
+        assert full((2, 2), 7.0).data[0, 0] == 7.0
+        assert arange(5).shape == (5,)
+        assert zeros((2, 3)).shape == (2, 3)  # tuple form
+
+    def test_randn_is_seeded(self):
+        manual_seed(123)
+        a = randn(5)
+        manual_seed(123)
+        b = randn(5)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestProperties:
+    def test_shape_ndim_size(self):
+        t = zeros(2, 3, 4)
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert t.numel() == 24
+        assert len(t) == 2
+
+    def test_element_size_and_nbytes(self):
+        t = zeros(3)
+        assert t.element_size() == 8
+        assert t.nbytes() == 24
+
+    def test_is_leaf(self):
+        a = randn(3, requires_grad=True)
+        assert a.is_leaf
+        b = a * 2.0
+        assert not b.is_leaf
+
+    def test_device_default_and_to(self):
+        t = zeros(2)
+        assert t.device == "cpu"
+        assert t.to("gpu:0") is t
+        assert t.device == "gpu:0"
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(zeros(1, requires_grad=True))
+        assert "requires_grad" not in repr(zeros(1))
+
+
+class TestMutation:
+    def test_copy_preserves_identity(self):
+        t = zeros(4)
+        storage = t.data
+        t.copy_(np.arange(4.0))
+        assert t.data is storage
+        assert t.data[3] == 3.0
+
+    def test_copy_reshapes_source(self):
+        t = zeros(2, 2)
+        t.copy_(np.arange(4.0))
+        assert t.data[1, 1] == 3.0
+
+    def test_item(self):
+        assert tensor([3.5]).item() == 3.5
+
+    def test_detach_shares_storage_but_drops_grad(self):
+        a = randn(3, requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_clone_independent_storage(self):
+        a = tensor([1.0, 2.0])
+        c = a.clone()
+        c.data[0] = 9.0
+        assert a.data[0] == 1.0
+
+    def test_clone_tracks_grad(self):
+        a = randn(3, requires_grad=True)
+        c = a.clone()
+        c.sum().backward()
+        assert np.allclose(a.grad.data, np.ones(3))
+
+    def test_zero_grad(self):
+        a = randn(3, requires_grad=True)
+        (a * a).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_astype(self):
+        t = tensor([1.0, 2.0]).astype(np.float32)
+        assert t.dtype == np.float32
+
+
+class TestBackwardEntry:
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        a = randn(3, requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = randn(3, requires_grad=True)
+        (a * 2.0).backward(Tensor(np.ones(3)))
+        assert np.allclose(a.grad.data, 2.0)
+
+    def test_backward_on_leaf(self):
+        a = randn(3, requires_grad=True)
+        a.backward(Tensor(np.full(3, 5.0)))
+        assert np.allclose(a.grad.data, 5.0)
+
+    def test_backward_without_grad_errors(self):
+        a = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_accumulator_only_for_leaves(self):
+        a = randn(3, requires_grad=True)
+        b = a * 2.0
+        with pytest.raises(RuntimeError):
+            b.accumulator()

@@ -1,0 +1,84 @@
+"""Chrome-trace export of simulated timelines."""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.simulation import (
+    SimulationConfig,
+    TrainingSimulator,
+    export_chrome_trace,
+    iteration_trace_events,
+)
+from repro.simulation.models import resnet50_profile
+
+
+@pytest.fixture
+def simulator():
+    return TrainingSimulator(
+        SimulationConfig(model=resnet50_profile(), world_size=16, backend="nccl")
+    )
+
+
+class TestIterationEvents:
+    def test_result_carries_events(self, simulator):
+        result = simulator.simulate_iteration(0)
+        labels = {label for label, *_ in result.events}
+        assert "forward" in labels
+        assert "backward_compute" in labels
+        assert "optimizer" in labels
+        assert any(label.startswith("allreduce:bucket") for label in labels)
+
+    def test_comm_overlaps_backward_compute(self, simulator):
+        result = simulator.simulate_iteration(0)
+        backward = next(e for e in result.events if e[0] == "backward_compute")
+        comm = [e for e in result.events if e[0].startswith("allreduce")]
+        # at least one AllReduce starts before backward compute ends
+        assert any(start < backward[3] for _, _, start, _ in comm)
+
+    def test_events_within_iteration(self, simulator):
+        result = simulator.simulate_iteration(0)
+        for label, _, start, end in result.events:
+            assert 0.0 <= start <= end <= result.total + 1e-9
+
+    def test_unsynced_iteration_has_no_comm_events(self):
+        sim = TrainingSimulator(
+            SimulationConfig(
+                model=resnet50_profile(), world_size=8, backend="nccl", sync_every=2
+            )
+        )
+        result = sim.simulate_iteration(1)  # skipped-sync iteration
+        assert not any(label.startswith("allreduce") for label, *_ in result.events)
+
+
+class TestChromeExport:
+    def test_event_format(self, simulator):
+        events = iteration_trace_events(simulator, iterations=2)
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete
+        for event in complete:
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["dur"] >= 0
+        metadata = [e for e in events if e.get("ph") == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert "compute" in names and "comm0" in names
+
+    def test_iterations_are_sequential(self, simulator):
+        events = iteration_trace_events(simulator, iterations=2)
+        markers = sorted(
+            (e for e in events if e.get("cat") == "iteration"), key=lambda e: e["ts"]
+        )
+        assert len(markers) == 2
+        assert markers[1]["ts"] >= markers[0]["ts"] + markers[0]["dur"] - 1e-6
+
+    def test_export_writes_valid_json(self, simulator):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.json")
+            out = export_chrome_trace(simulator, path, iterations=1)
+            assert out == path
+            with open(path) as handle:
+                payload = json.load(handle)
+            assert "traceEvents" in payload
+            assert len(payload["traceEvents"]) > 3
