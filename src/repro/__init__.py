@@ -54,6 +54,7 @@ from repro import (
     rpc,
     simnet,
     simulation,
+    telemetry,
     utils,
 )
 from repro.core import DistributedDataParallel
@@ -73,6 +74,7 @@ __all__ = [
     "rpc",
     "simnet",
     "simulation",
+    "telemetry",
     "utils",
     "DistributedDataParallel",
     "__version__",

@@ -19,6 +19,7 @@ from repro.comm.process_group import BACKENDS, ProcessGroup
 from repro.comm.round_robin import RoundRobinProcessGroup
 from repro.comm.store import Store
 from repro.comm.transport import TransportHub
+from repro.utils.rank import set_current_rank
 
 _thread_ctx = threading.local()
 
@@ -86,6 +87,7 @@ def init_process_group(
             )
         ctx = DistributedContext(rank, world_size, store, hub)
         _set_context(ctx)
+        set_current_rank(rank)
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; options: {sorted(BACKENDS)}")
     group = BACKENDS[backend](
@@ -177,6 +179,8 @@ def run_distributed(
     def runner(rank: int) -> None:
         ctx = DistributedContext(rank, world_size, store, hub)
         _set_context(ctx)
+        # Rank identity for log records and telemetry span attribution.
+        set_current_rank(rank)
         try:
             if backend is not None:
                 init_process_group(backend, timeout=timeout)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -29,6 +30,9 @@ import numpy as np
 from repro.comm import algorithms
 from repro.comm.store import Store
 from repro.comm.transport import TransportHub, TransportTimeoutError
+from repro.telemetry.metrics import registry_for
+from repro.telemetry.spans import TRACER
+from repro.utils.rank import set_current_rank
 
 
 class ReduceOp:
@@ -55,12 +59,22 @@ class CollectiveTimeoutError(CollectiveError):
 
 
 class Work:
-    """Handle for an asynchronously executing collective."""
+    """Handle for an asynchronously executing collective.
 
-    def __init__(self, description: str = ""):
+    The communication worker stamps ``_t_start``/``_t_end``
+    (``perf_counter`` seconds) around the collective's execution, so
+    callers holding the handle — notably the reducer's per-bucket
+    latency and overlap-ratio accounting — can read how long the
+    operation actually ran, as opposed to how long they waited on it.
+    """
+
+    def __init__(self, description: str = "", meta: Optional[dict] = None):
         self._done = threading.Event()
         self._error: Optional[BaseException] = None
         self.description = description
+        self.meta = meta
+        self._t_start: Optional[float] = None
+        self._t_end: Optional[float] = None
 
     def _complete(self, error: Optional[BaseException] = None) -> None:
         self._error = error
@@ -166,22 +180,43 @@ class ProcessGroup:
     # worker machinery
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
+        # Worker threads carry the owning rank's identity so telemetry
+        # spans and log records from inside collectives attribute
+        # correctly (the rank contextvar does not cross thread spawns).
+        set_current_rank(self.global_rank)
         while True:
             item = self._queue.get()
             if item is None:
                 return
             fn, work = item
+            error: Optional[BaseException] = None
+            work._t_start = time.perf_counter()
             try:
                 fn()
             except BaseException as exc:  # propagate through the Work handle
-                work._complete(exc)
-            else:
-                work._complete()
+                error = exc
+            work._t_end = time.perf_counter()
+            if TRACER.enabled:
+                args = dict(work.meta) if work.meta else {}
+                if error is not None:
+                    args["error"] = type(error).__name__
+                TRACER.record(
+                    work.description,
+                    work._t_start,
+                    work._t_end,
+                    cat="comm",
+                    stream="comm",
+                    rank=self.global_rank,
+                    args=args or None,
+                )
+            work._complete(error)
 
-    def _submit(self, fn, description: str, async_op: bool) -> Optional[Work]:
+    def _submit(
+        self, fn, description: str, async_op: bool, meta: Optional[dict] = None
+    ) -> Optional[Work]:
         if self._closed:
             raise CollectiveError("process group has been shut down")
-        work = Work(description)
+        work = Work(description, meta)
         self._queue.put((fn, work))
         if async_op:
             return work
@@ -232,6 +267,12 @@ class ProcessGroup:
                 f"(got a tensor on 'cpu'); copy to a gpu:* device first"
             )
 
+    def _record_op_metrics(self, op_name: str, nbytes: int) -> None:
+        if TRACER.enabled:
+            registry = registry_for(self.global_rank)
+            registry.counter(f"{op_name}.count").add(1)
+            registry.counter(f"{op_name}.bytes").add(nbytes)
+
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
@@ -248,6 +289,7 @@ class ProcessGroup:
         signature = ("allreduce", array.shape, str(array.dtype), op)
         algorithm = algorithms.ALLREDUCE_ALGORITHMS[self.algorithm]
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("allreduce", array.nbytes)
 
         def run() -> None:
             self._check_signature(seq, signature)
@@ -258,7 +300,14 @@ class ProcessGroup:
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
 
-        return self._submit(run, f"allreduce#{seq}", async_op)
+        meta = {
+            "op": "allreduce",
+            "bytes": array.nbytes,
+            "algorithm": self.algorithm,
+            "reduce_op": op,
+            "group": self._group_id,
+        }
+        return self._submit(run, f"allreduce#{seq}", async_op, meta=meta)
 
     def broadcast(self, tensor, src: int = 0, async_op: bool = False):
         """Broadcast from group-rank ``src`` into every rank's tensor."""
@@ -268,6 +317,7 @@ class ProcessGroup:
         seq = tag[1]
         signature = ("broadcast", array.shape, str(array.dtype), src)
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("broadcast", array.nbytes)
 
         def run() -> None:
             self._check_signature(seq, signature)
@@ -278,7 +328,9 @@ class ProcessGroup:
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
 
-        return self._submit(run, f"broadcast#{seq}", async_op)
+        meta = {"op": "broadcast", "bytes": array.nbytes, "src": src,
+                "group": self._group_id}
+        return self._submit(run, f"broadcast#{seq}", async_op, meta=meta)
 
     def allgather(self, tensor, async_op: bool = False):
         """Gather every rank's tensor; sync form returns (world, n) array."""
@@ -288,6 +340,7 @@ class ProcessGroup:
         seq = tag[1]
         signature = ("allgather", array.shape, str(array.dtype))
         self.bytes_communicated += array.nbytes * len(self.ranks)
+        self._record_op_metrics("allgather", array.nbytes * len(self.ranks))
         result: list = [None]
 
         def run() -> None:
@@ -299,7 +352,9 @@ class ProcessGroup:
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
 
-        work = self._submit(run, f"allgather#{seq}", async_op)
+        meta = {"op": "allgather", "bytes": array.nbytes * len(self.ranks),
+                "group": self._group_id}
+        work = self._submit(run, f"allgather#{seq}", async_op, meta=meta)
         if async_op:
             work.result = result  # type: ignore[attr-defined]
             return work
@@ -313,6 +368,7 @@ class ProcessGroup:
         seq = tag[1]
         signature = ("reduce_scatter", array.shape, str(array.dtype), op)
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("reduce_scatter", array.nbytes)
         result: list = [None]
 
         def run() -> None:
@@ -321,7 +377,8 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, op, tag, self.timeout
             )
 
-        self._submit(run, f"reduce_scatter#{seq}", async_op=False)
+        meta = {"op": "reduce_scatter", "bytes": array.nbytes, "group": self._group_id}
+        self._submit(run, f"reduce_scatter#{seq}", async_op=False, meta=meta)
         return result[0]
 
     def reduce(self, tensor, root: int = 0, op: str = ReduceOp.SUM):
@@ -332,6 +389,7 @@ class ProcessGroup:
         seq = tag[1]
         signature = ("reduce", array.shape, str(array.dtype), root, op)
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("reduce", array.nbytes)
 
         def run() -> None:
             self._check_signature(seq, signature)
@@ -339,7 +397,8 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, root, op, tag, self.timeout
             )
 
-        self._submit(run, f"reduce#{seq}", async_op=False)
+        meta = {"op": "reduce", "bytes": array.nbytes, "group": self._group_id}
+        self._submit(run, f"reduce#{seq}", async_op=False, meta=meta)
 
     def gather(self, tensor, root: int = 0):
         """Gather tensors at ``root``; returns (world, n) there, None elsewhere."""
@@ -349,6 +408,7 @@ class ProcessGroup:
         seq = tag[1]
         signature = ("gather", array.shape, str(array.dtype), root)
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("gather", array.nbytes)
         result: list = [None]
 
         def run() -> None:
@@ -357,7 +417,8 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, root, tag, self.timeout
             )
 
-        self._submit(run, f"gather#{seq}", async_op=False)
+        meta = {"op": "gather", "bytes": array.nbytes, "group": self._group_id}
+        self._submit(run, f"gather#{seq}", async_op=False, meta=meta)
         return result[0]
 
     def scatter(self, chunks=None, root: int = 0):
@@ -373,7 +434,8 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, chunks, root, tag, self.timeout
             )
 
-        self._submit(run, f"scatter#{seq}", async_op=False)
+        meta = {"op": "scatter", "group": self._group_id}
+        self._submit(run, f"scatter#{seq}", async_op=False, meta=meta)
         return result[0]
 
     def send(self, tensor, dst: int, tag: object = "p2p") -> None:
@@ -381,6 +443,7 @@ class ProcessGroup:
         this with collectives; provided for parameter-server-style code)."""
         array = _as_array(tensor)
         self.bytes_communicated += array.nbytes
+        self._record_op_metrics("p2p.send", array.nbytes)
         self.hub.send(
             self.ranks[self.group_rank], self.ranks[dst], ("p2p", self._group_id, tag),
             array.copy(),
@@ -389,6 +452,7 @@ class ProcessGroup:
     def recv(self, tensor, src: int, tag: object = "p2p") -> None:
         """Blocking point-to-point receive from group-rank ``src``."""
         array = _as_array(tensor)
+        self._record_op_metrics("p2p.recv", array.nbytes)
         incoming = self.hub.recv(
             self.ranks[self.group_rank], self.ranks[src], ("p2p", self._group_id, tag),
             self.timeout,
@@ -403,7 +467,8 @@ class ProcessGroup:
             self._check_signature(seq, ("barrier",))
             algorithms.barrier(self.hub, self.ranks, self.group_rank, tag, self.timeout)
 
-        self._submit(run, f"barrier#{seq}", async_op=False)
+        meta = {"op": "barrier", "group": self._group_id}
+        self._submit(run, f"barrier#{seq}", async_op=False, meta=meta)
 
 
 class ProcessGroupNccl(ProcessGroup):

@@ -15,8 +15,12 @@ AllReduce sends ``2*(p-1)`` chunks per rank".
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from typing import Any, Dict, Hashable, Tuple
+
+from repro.telemetry.metrics import registry_for
+from repro.telemetry.spans import TRACER
 
 
 class TransportTimeoutError(TimeoutError):
@@ -61,13 +65,24 @@ class TransportHub:
             self.messages_sent[src] += 1
             self.bytes_sent[src] += int(nbytes)
             self._cond.notify_all()
+        if TRACER.enabled:
+            registry = registry_for(src)
+            registry.counter("transport.messages_sent").add(1)
+            registry.counter("transport.bytes_sent").add(int(nbytes))
 
     def recv(self, dst: int, src: int, tag: Hashable, timeout: float | None = None) -> Any:
-        """Block until a message matching (src, dst, tag) arrives."""
+        """Block until a message matching (src, dst, tag) arrives.
+
+        With telemetry enabled, the blocked interval is recorded as a
+        ``transport.recv`` span on the *receiver's* timeline — the
+        dependency-stall picture of who waits on whom.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         deadline = timeout if timeout is not None else self.default_timeout
         key = (src, dst, tag)
+        traced = TRACER.enabled
+        t_start = time.perf_counter() if traced else 0.0
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: self._closed or bool(self._mailboxes.get(key)), deadline
@@ -79,7 +94,18 @@ class TransportHub:
                     f"rank {dst} timed out waiting for message from rank {src} "
                     f"tag {tag!r} after {deadline}s (peer rank diverged or hung?)"
                 )
-            return self._mailboxes[key].popleft()
+            payload = self._mailboxes[key].popleft()
+        if traced:
+            TRACER.record(
+                "transport.recv",
+                t_start,
+                time.perf_counter(),
+                cat="transport",
+                stream="transport",
+                rank=dst,
+                args={"src": src, "bytes": int(getattr(payload, "nbytes", 0))},
+            )
+        return payload
 
     def close(self) -> None:
         """Wake every blocked receiver with ``TransportClosedError``."""

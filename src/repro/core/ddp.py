@@ -27,6 +27,7 @@ from repro.comm.distributed import get_context
 from repro.core.bucket import compute_bucket_assignment
 from repro.core.reducer import CommHook, Reducer
 from repro.nn.module import Module
+from repro.telemetry import spans as _spans
 from repro.utils.units import MB
 
 
@@ -200,7 +201,12 @@ class DistributedDataParallel(Module):
             # be re-aligned to rank 0 before this forward (§4.1).
             if self.broadcast_buffers and any(True for _ in self.module.buffers()):
                 self._broadcast_buffers_now()
-        out = self.module(*inputs, **kwargs)
+        with _spans.span(
+            "ddp.forward",
+            iteration=self.reducer.iterations_synced,
+            sync=self._sync_enabled,
+        ):
+            out = self.module(*inputs, **kwargs)
         if self._sync_enabled:
             self.reducer.prepare_for_backward(_flatten_outputs(out))
             self._did_sync_last_backward = True
@@ -224,6 +230,70 @@ class DistributedDataParallel(Module):
     def register_comm_hook(self, hook: Optional[CommHook]) -> None:
         """Install a gradient-compression communication hook (§6.2.3)."""
         self.reducer.set_comm_hook(hook)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def ddp_stats(self) -> dict:
+        """Iteration statistics report — the analog of PyTorch DDP's
+        ``get_ddp_logging_data()``.
+
+        Always available (the reducer's coarse phase clock stays on even
+        with telemetry disabled).  Per-bucket AllReduce latencies and the
+        overlap ratio describe the *last synchronized* backward:
+
+        * ``bucket_sizes_bytes`` / ``bucket_param_indices`` — the live
+          bucket layout (reflects any order-prediction rebuild).
+        * ``unused_parameter_count`` — parameters marked ready-as-unused
+          in the last prepared backward (0 unless
+          ``find_unused_parameters`` found absentees).
+        * ``comm_compute_overlap_ratio`` — fraction of total bucket
+          AllReduce wall time hidden inside the backward-compute window
+          (1.0 = fully overlapped, 0.0 = fully exposed; paper Fig. 4).
+        * ``per_bucket_allreduce_latency_s`` — measured execution time
+          of each bucket's collective on the communication worker.
+        """
+        reducer = self.reducer
+        detail = reducer.recorder.last_detail
+        bucket_latencies = {
+            entry["bucket"]: entry["allreduce_latency_s"]
+            for entry in detail.get("buckets", ())
+        }
+        return {
+            "world_size": self.process_group.size,
+            "rank": self.process_group.group_rank,
+            "backend": self.process_group.backend,
+            "bucket_cap_mb": self.bucket_cap_mb,
+            "num_buckets": len(reducer.buckets),
+            "bucket_sizes_bytes": [b.flat.nbytes for b in reducer.buckets],
+            "bucket_param_indices": [
+                list(b.spec.param_indices) for b in reducer.buckets
+            ],
+            "rebuilt_bucket_count": reducer.rebuilt_bucket_count,
+            "iterations_synced": reducer.iterations_synced,
+            "find_unused_parameters": self.find_unused_parameters,
+            "unused_parameter_count": reducer.last_unused_parameter_count,
+            "overlap_enabled": reducer.overlap,
+            "comm_compute_overlap_ratio": detail.get(
+                "comm_compute_overlap_ratio", 0.0
+            ),
+            "comm_total_s": detail.get("comm_total_s", 0.0),
+            "comm_hidden_s": detail.get("comm_hidden_s", 0.0),
+            "per_bucket_allreduce_latency_s": [
+                bucket_latencies.get(b.spec.index, 0.0) for b in reducer.buckets
+            ],
+            "last_iteration": dict(reducer.last_iteration_stats),
+        }
+
+    def check_stragglers(self, threshold: float = 1.5):
+        """Exchange the last backward-compute time across ranks and flag
+        outliers (a **collective** — every rank must call it at the same
+        point).  Returns a :class:`repro.telemetry.StragglerReport`."""
+        from repro.telemetry.straggler import detect_stragglers
+
+        phases = self.reducer.recorder.last_detail.get("phases", {})
+        local = float(phases.get("backward_compute", 0.0))
+        return detect_stragglers(self.process_group, local, threshold=threshold)
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,6 @@ Responsibilities, mirroring the paper's four components:
 from __future__ import annotations
 
 import threading
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -34,6 +33,9 @@ from repro.autograd.graph import collect_participating_accumulators
 from repro.autograd.tensor import Tensor
 from repro.comm.process_group import ReduceOp
 from repro.core.bucket import BucketSpec, validate_assignment
+from repro.telemetry.metrics import registry_for
+from repro.telemetry.recorder import IterationRecorder
+from repro.telemetry.spans import TRACER
 from repro.utils.logging import logger
 
 
@@ -146,8 +148,14 @@ class Reducer:
         # Wall-clock phase stats for the previous synchronized
         # iteration — a real-run analog of the paper's Fig. 6 breakdown.
         self.last_iteration_stats: Dict[str, float] = {}
-        self._t_prepare = 0.0
-        self._t_first_grad: Optional[float] = None
+        # Single timing source of truth: always-on coarse phase
+        # timestamps; emits spans into the global tracer when telemetry
+        # is enabled (see repro.telemetry.recorder).
+        self.recorder = IterationRecorder(
+            rank=getattr(process_group, "global_rank", None)
+        )
+        # Parameters marked ready-as-unused in the last prepared backward.
+        self.last_unused_parameter_count = 0
 
     # ------------------------------------------------------------------
     # iteration lifecycle
@@ -174,8 +182,8 @@ class Reducer:
         self._buckets_finished = 0
         self._finalized = False
         self._expect_hooks = True
-        self._t_prepare = time.perf_counter()
-        self._t_first_grad = None
+        self.last_unused_parameter_count = 0
+        self.recorder.start_iteration(self.iterations_synced)
 
         if self.find_unused_parameters:
             participating = collect_participating_accumulators(outputs)
@@ -196,8 +204,10 @@ class Reducer:
             return
         if self.order_tracer is not None:
             self.order_tracer.record(index)
-        if self._t_first_grad is None:
-            self._t_first_grad = time.perf_counter()
+        if self.recorder.t_first_grad is None:
+            self.recorder.mark_first_grad()
+        if TRACER.enabled:
+            registry_for(self.recorder.rank).counter("hook.fire_count").add(1)
         self._mark_ready(index, unused=False)
 
     def _mark_ready(self, param_index: int, unused: bool) -> None:
@@ -210,6 +220,7 @@ class Reducer:
         if unused:
             # Unused parameters contribute zeros to the reduced sum.
             bucket.flat[offset : offset + size] = 0.0
+            self.last_unused_parameter_count += 1
         else:
             if param.grad is None:
                 raise ReducerError(
@@ -224,6 +235,7 @@ class Reducer:
         bucket.pending -= 1
         if bucket.pending == 0:
             bucket.ready = True
+            self.recorder.bucket_ready(spec.index)
             if self.overlap:
                 self._launch_ready_buckets_in_order()
             self._buckets_finished += 1
@@ -249,6 +261,9 @@ class Reducer:
         if bucket.launched:
             return
         bucket.launched = True
+        self.recorder.bucket_launched(bucket.spec.index, bucket.flat.nbytes)
+        if TRACER.enabled:
+            registry_for(self.recorder.rank).counter("bucket.launches").add(1)
         logger.debug(
             "launch allreduce bucket %d (%d elements)",
             bucket.spec.index,
@@ -268,7 +283,7 @@ class Reducer:
         (Algorithm 1 line 21) — the engine thread blocks here while the
         process-group worker thread drains the queued AllReduces.
         """
-        t_all_grads = time.perf_counter()
+        self.recorder.mark_all_grads()
         globally_used = None
         if self.find_unused_parameters:
             globally_used = self._allreduce_used_bitmap()
@@ -297,16 +312,9 @@ class Reducer:
         if self.order_tracer is not None:
             # Close partial traces (some parameters may not have fired).
             self.order_tracer.end_iteration()
-        t_done = time.perf_counter()
-        self.last_iteration_stats = {
-            # forward + any pre-backward work since prepare()
-            "prepare_to_first_grad": (self._t_first_grad or t_all_grads) - self._t_prepare,
-            # local gradient computation window
-            "backward_compute": t_all_grads - (self._t_first_grad or t_all_grads),
-            # communication not hidden by backward compute
-            "comm_exposed_wait": t_done - t_all_grads,
-            "total": t_done - self._t_prepare,
-        }
+        self.last_iteration_stats = self.recorder.finish(
+            [(bucket.spec.index, bucket.work) for bucket in self.buckets]
+        )
         logger.debug(
             "iteration %d finalized: exposed comm wait %.3f ms",
             self.iterations_synced,
@@ -351,6 +359,8 @@ class Reducer:
             for slot, param_index in enumerate(bucket.spec.param_indices):
                 self._locator[param_index] = (position, slot)
         self.rebuilt_bucket_count += 1
+        if TRACER.enabled:
+            registry_for(self.recorder.rank).counter("reducer.rebuilds").add(1)
 
     def detach_hooks(self) -> None:
         """Remove all autograd hooks (used when tearing DDP down)."""

@@ -1,0 +1,108 @@
+"""Observability for real (non-simulated) distributed runs.
+
+The paper's whole evaluation (§6, Figs. 2/6/8) is an exercise in seeing
+where an iteration's time goes — backward compute, bucket AllReduce,
+and the exposed tail where the two fail to overlap.  The simulator
+could always draw that picture; this package draws it for the *real*
+threaded ``Reducer``/``ProcessGroup`` path:
+
+* :mod:`~repro.telemetry.metrics` — per-rank counters/gauges/histograms
+  with snapshot + cross-rank merge (``allreduce.bytes``,
+  ``bucket.ready_to_launch_delay``, ``hook.fire_count``, ...).
+* :mod:`~repro.telemetry.spans` — low-overhead span tracer: per-rank
+  ring buffers, context-manager and explicit begin/end forms, one-branch
+  no-op fast path while disabled.
+* :mod:`~repro.telemetry.recorder` — the reducer's single timing source
+  (phases, per-bucket ready→launch→comm intervals, overlap ratio).
+* :mod:`~repro.telemetry.chrome_trace` — measured-timeline export in
+  the Trace Event Format (one ``pid`` per rank, compute vs. comm
+  ``tid`` rows), directly comparable with the simulator's exporter.
+* :mod:`~repro.telemetry.straggler` — cross-rank AllGather of timing
+  samples with outlier flagging.
+
+Telemetry is **off by default** and costs one attribute check per
+instrumentation site while off.  Turn it on with::
+
+    from repro import telemetry
+    telemetry.enable()              # or REPRO_TELEMETRY=1 in the env
+
+    ... run training ...
+
+    telemetry.export_chrome_trace("trace.json")   # open in Perfetto
+    print(telemetry.merge_snapshots(telemetry.all_snapshots()))
+
+See ``docs/observability.md`` for the metric catalog and a trace
+walkthrough.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.chrome_trace import export_chrome_trace, trace_events
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    all_snapshots,
+    clear_all_registries,
+    merge_snapshots,
+    registry_for,
+)
+from repro.telemetry.recorder import IterationRecorder, work_interval
+from repro.telemetry.spans import (
+    Span,
+    SpanRecord,
+    SpanTracer,
+    begin,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    span,
+)
+from repro.telemetry.straggler import StragglerReport, detect_stragglers
+
+
+def get_metrics(rank=None) -> MetricsRegistry:
+    """The calling rank's metrics registry (alias of ``registry_for``)."""
+    return registry_for(rank)
+
+
+def reset() -> None:
+    """Drop every recorded span and metric (enabled state unchanged)."""
+    get_tracer().clear()
+    clear_all_registries()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IterationRecorder",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "SpanTracer",
+    "StragglerReport",
+    "all_snapshots",
+    "begin",
+    "clear_all_registries",
+    "detect_stragglers",
+    "disable",
+    "enable",
+    "export_chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "is_enabled",
+    "merge_snapshots",
+    "registry_for",
+    "reset",
+    "span",
+    "trace_events",
+    "work_interval",
+]
+
+if os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "on", "yes"):
+    enable()

@@ -1,0 +1,85 @@
+"""Chrome-trace export of *measured* multi-rank timelines.
+
+The simulator already exports its predicted timeline in the Trace Event
+Format (``repro.simulation.trace``).  This module emits the **measured**
+timeline of a real threaded run in the same format — one ``pid`` per
+rank, separate ``tid`` rows for compute vs. communication vs. transport
+streams — so a measured trace and a simulated trace of the same model
+drop into Perfetto side by side and the paper's Fig. 4 overlap picture
+can be compared prediction-vs-reality.
+
+All ranks share one process clock (``perf_counter``), so cross-rank
+alignment is exact; timestamps are rebased to the earliest recorded
+span and expressed in microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.telemetry.spans import SpanTracer, TRACER
+
+#: Stable tid assignment so compute is always the top row per rank.
+_STREAM_ORDER = {"compute": 0, "comm": 1, "transport": 2}
+
+
+def trace_events(tracer: Optional[SpanTracer] = None) -> List[dict]:
+    """Trace Event Format records for every span the tracer holds."""
+    tracer = tracer or TRACER
+    events: List[dict] = []
+    all_spans = tracer.spans()
+    if not all_spans:
+        return events
+    epoch = min(span.t_start for span in all_spans)
+    seen_tids: Dict[int, Dict[str, int]] = {}
+    for span in all_spans:
+        streams = seen_tids.setdefault(span.rank, {})
+        if span.stream not in streams:
+            streams[span.stream] = _STREAM_ORDER.get(span.stream, 3 + len(streams))
+        args = dict(span.args) if span.args else {}
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": (span.t_start - epoch) * 1e6,
+                "dur": max(0.0, span.t_end - span.t_start) * 1e6,
+                "pid": span.rank,
+                "tid": streams[span.stream],
+                "args": args,
+            }
+        )
+    # Metadata: name each rank's process and each stream's thread row.
+    for rank, streams in sorted(seen_tids.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank}" if rank >= 0 else "unattributed"},
+            }
+        )
+        for stream, tid in sorted(streams.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "args": {"name": stream},
+                }
+            )
+    return events
+
+
+def export_chrome_trace(path: str, tracer: Optional[SpanTracer] = None) -> str:
+    """Write the measured timeline as chrome://tracing JSON; returns path."""
+    events = trace_events(tracer)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return path

@@ -1,0 +1,264 @@
+"""Per-rank metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a thread-safe bag of named instruments.
+Each rank owns one registry (see :func:`repro.telemetry.metrics`);
+worker threads belonging to a rank record into the same registry, so
+per-instrument locks keep concurrent ``add``/``observe`` calls exact.
+
+``snapshot()`` freezes a registry into plain dicts and
+:func:`merge_snapshots` aggregates snapshots across ranks — the
+cross-rank analog of Prometheus federation, scoped to one process:
+
+* counters sum,
+* gauges keep per-rank values plus min/max,
+* histograms combine counts, sums, extrema, and recent samples.
+
+Instrument names use dotted paths (``allreduce.bytes``,
+``bucket.ready_to_launch_delay``); the catalog lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+#: Recent samples kept per histogram for percentile estimation.
+HISTOGRAM_SAMPLE_CAPACITY = 1024
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, launches)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, bucket count)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max plus a bounded
+    ring of recent samples for percentile estimates."""
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_lock")
+
+    def __init__(self, name: str, sample_capacity: int = HISTOGRAM_SAMPLE_CAPACITY):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: deque = deque(maxlen=sample_capacity)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-th percentile (0..100) from recent samples."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        index = min(len(samples) - 1, max(0, round(q / 100.0 * (len(samples) - 1))))
+        return samples[index]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+            samples = list(self._samples)
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "samples": []}
+        ordered = sorted(samples)
+
+        def pct(q: float) -> float:
+            index = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+            return ordered[index]
+
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
+            "p50": pct(50),
+            "p95": pct(95),
+            "samples": samples,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry for one rank."""
+
+    def __init__(self, rank: Optional[int] = None):
+        self.rank = rank
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, requested {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Freeze into plain dicts: {'counters': {name: value}, ...}."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: Dict[str, Dict] = {"rank": self.rank, "counters": {}, "gauges": {},
+                                "histograms": {}}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                out["histograms"][name] = instrument.summary()
+        return out
+
+
+# ----------------------------------------------------------------------
+# process-wide per-rank registry store
+# ----------------------------------------------------------------------
+_registries: Dict[Optional[int], MetricsRegistry] = {}
+_registries_lock = threading.Lock()
+
+
+def registry_for(rank: Optional[int] = None) -> MetricsRegistry:
+    """Get-or-create the registry for ``rank`` (default: calling thread's
+    rank per :mod:`repro.utils.rank`; ``-1`` outside any rank context)."""
+    if rank is None:
+        from repro.utils.rank import get_current_rank
+
+        current = get_current_rank()
+        rank = current if current is not None else -1
+    with _registries_lock:
+        registry = _registries.get(rank)
+        if registry is None:
+            registry = MetricsRegistry(rank)
+            _registries[rank] = registry
+        return registry
+
+
+def all_snapshots() -> List[Dict[str, Dict]]:
+    """Snapshot every rank's registry, ordered by rank."""
+    with _registries_lock:
+        registries = sorted(_registries.items(), key=lambda kv: kv[0])
+    return [registry.snapshot() for _, registry in registries]
+
+
+def clear_all_registries() -> None:
+    with _registries_lock:
+        _registries.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Aggregate per-rank snapshots into one cross-rank view."""
+    merged: Dict[str, Dict] = {"ranks": [], "counters": {}, "gauges": {},
+                               "histograms": {}}
+    for snap in snapshots:
+        merged["ranks"].append(snap.get("rank"))
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            entry = merged["gauges"].setdefault(
+                name, {"per_rank": {}, "min": float("inf"), "max": float("-inf")}
+            )
+            entry["per_rank"][snap.get("rank")] = value
+            entry["min"] = min(entry["min"], value)
+            entry["max"] = max(entry["max"], value)
+        for name, summary in snap.get("histograms", {}).items():
+            entry = merged["histograms"].setdefault(
+                name,
+                {"count": 0, "sum": 0.0, "min": float("inf"),
+                 "max": float("-inf"), "samples": []},
+            )
+            entry["count"] += summary["count"]
+            entry["sum"] += summary["sum"]
+            if summary["count"]:
+                entry["min"] = min(entry["min"], summary["min"])
+                entry["max"] = max(entry["max"], summary["max"])
+            entry["samples"].extend(summary.get("samples", []))
+    for entry in merged["histograms"].values():
+        entry["mean"] = entry["sum"] / entry["count"] if entry["count"] else 0.0
+        ordered = sorted(entry.pop("samples"))
+        if ordered:
+            entry["p50"] = ordered[min(len(ordered) - 1, round(0.50 * (len(ordered) - 1)))]
+            entry["p95"] = ordered[min(len(ordered) - 1, round(0.95 * (len(ordered) - 1)))]
+        else:
+            entry["p50"] = entry["p95"] = 0.0
+        if entry["count"] == 0:
+            entry["min"] = entry["max"] = 0.0
+    return merged

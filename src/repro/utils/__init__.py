@@ -1,8 +1,10 @@
-"""Shared utilities: seeding, sizes, and small helpers."""
+"""Shared utilities: seeding, sizes, rank identity, and small helpers."""
 
 from repro.utils.seed import manual_seed, get_rng, fork_rng
 from repro.utils.units import MB, KB, format_bytes, format_seconds
 from repro.utils.checkpoint import save_checkpoint, load_checkpoint
+from repro.utils.logging import enable_logging, logger
+from repro.utils.rank import get_current_rank, set_current_rank
 
 __all__ = [
     "manual_seed",
@@ -14,4 +16,8 @@ __all__ = [
     "format_seconds",
     "save_checkpoint",
     "load_checkpoint",
+    "enable_logging",
+    "logger",
+    "get_current_rank",
+    "set_current_rank",
 ]

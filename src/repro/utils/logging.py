@@ -4,6 +4,13 @@ A single ``repro`` logger, silent by default.  Set ``REPRO_LOG=debug``
 (or ``info``) in the environment, or call :func:`enable_logging`, to
 see reducer events (bucket launches, finalization, rebucketing) —
 the first thing to look at when a distributed run hangs.
+
+Every record carries a ``%(rank)s`` field resolved from the rank
+contextvar (:mod:`repro.utils.rank`) that ``run_distributed`` binds at
+rank spawn and each process group binds on its communication worker —
+so records attribute to the *actual* rank rather than whatever the
+thread happens to be named.  Records emitted outside any rank context
+show ``-``.
 """
 
 from __future__ import annotations
@@ -15,14 +22,35 @@ logger = logging.getLogger("repro")
 logger.addHandler(logging.NullHandler())
 
 
+class RankFilter(logging.Filter):
+    """Inject ``record.rank`` from the calling thread's rank contextvar."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        from repro.utils.rank import get_current_rank
+
+        rank = get_current_rank()
+        record.rank = "-" if rank is None else rank
+        return True
+
+
+_FORMAT = "[repro %(levelname).1s rank=%(rank)s] %(message)s"
+
+
 def enable_logging(level: str = "debug") -> logging.Logger:
-    """Attach a stderr handler with rank-aware formatting."""
-    handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("[repro %(levelname).1s %(threadName)s] %(message)s")
+    """Attach a stderr handler with rank-aware formatting.
+
+    Idempotent: repeated calls update the level of the existing handler
+    instead of stacking duplicates (each would double every line).
+    """
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_handler", False)), None
     )
-    logger.handlers = [h for h in logger.handlers if isinstance(h, logging.NullHandler)]
-    logger.addHandler(handler)
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler._repro_handler = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(RankFilter())
+        logger.addHandler(handler)
     logger.setLevel(getattr(logging, level.upper()))
     return logger
 
