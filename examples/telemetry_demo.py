@@ -10,10 +10,15 @@ Enables ``repro.telemetry``, trains a small MLP on rank threads, then:
 * runs the cross-rank straggler detector;
 * validates the exported trace: parseable JSON, events from every
   rank, and comm spans nested inside an iteration window — so CI can
-  use this script as a telemetry smoke test.
+  use this script as a telemetry smoke test;
+* checks the ``debug`` section of ``ddp_stats()``: with
+  ``REPRO_DEBUG=INFO`` (or higher) the collective flight recorder must
+  hold records and the hang watchdog must be running; when OFF the
+  debug layer must record nothing.
 
 Run:
     python examples/telemetry_demo.py
+    REPRO_DEBUG=INFO python examples/telemetry_demo.py
 """
 
 import json
@@ -111,6 +116,24 @@ def main() -> None:
     assert merged["counters"]["iterations.synced"] == WORLD_SIZE * ITERATIONS
 
     print(f"\nstraggler check: {straggler.describe()}")
+
+    debug = stats["debug"]
+    print(f"\ndebug layer (REPRO_DEBUG={debug['level']}): {debug}")
+    if debug["level"] == "OFF":
+        assert debug["flight_recorder_depth"] == 0, (
+            "flight recorder must record nothing when REPRO_DEBUG=OFF"
+        )
+        assert debug["watchdog"] is None, "no watchdog expected when OFF"
+    else:
+        assert debug["flight_recorder_depth"] > 0, (
+            "flight recorder recorded no collectives at "
+            f"REPRO_DEBUG={debug['level']}"
+        )
+        assert debug["watchdog"]["active"], "hang watchdog was not running"
+        assert debug["watchdog"]["alarms_raised"] == 0, (
+            "healthy run raised a desync alarm"
+        )
+
     telemetry.disable()
     print("\ntelemetry smoke passed.")
 

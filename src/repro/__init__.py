@@ -47,6 +47,7 @@ from repro import (
     comm,
     core,
     data,
+    debug,
     experiments,
     models,
     nn,
@@ -67,6 +68,7 @@ __all__ = [
     "comm",
     "core",
     "data",
+    "debug",
     "experiments",
     "models",
     "nn",

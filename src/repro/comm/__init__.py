@@ -42,6 +42,7 @@ from repro.comm.distributed import (
     get_context,
     get_rank,
     get_world_size,
+    monitored_barrier,
     new_process_group,
     new_round_robin_group,
     run_distributed,
@@ -66,6 +67,7 @@ __all__ = [
     "get_context",
     "get_rank",
     "get_world_size",
+    "monitored_barrier",
     "new_process_group",
     "new_round_robin_group",
     "run_distributed",

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import inspect
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.comm.process_group import BACKENDS, ProcessGroup
 from repro.comm.round_robin import RoundRobinProcessGroup
-from repro.comm.store import Store
+from repro.comm.store import Store, StoreTimeoutError
 from repro.comm.transport import TransportHub
+from repro.utils.logging import logger
 from repro.utils.rank import set_current_rank
 
 _thread_ctx = threading.local()
@@ -36,10 +38,24 @@ class DistributedContext:
     _owned_groups: List = field(default_factory=list)
 
     def close(self) -> None:
+        """Shut down every owned group.
+
+        A communication worker wedged in a transport ``recv`` (its peer
+        diverged or died) is woken by the group's shutdown closing the
+        hub; any worker that still fails to join is reported instead of
+        silently stranded.
+        """
+        stuck: List[str] = []
         for group in self._owned_groups:
-            group.shutdown()
+            if not group.shutdown():
+                stuck.append(f"pg{group._group_id}")
         self._owned_groups.clear()
         self.default_group = None
+        if stuck:
+            logger.error(
+                "rank %d: communication workers of %s could not be joined "
+                "at context close", self.rank, ", ".join(stuck),
+            )
 
 
 def _set_context(ctx: Optional[DistributedContext]) -> None:
@@ -147,6 +163,71 @@ def new_round_robin_group(
         new_process_group(backend, timeout=timeout, **kwargs) for _ in range(num_groups)
     ]
     return RoundRobinProcessGroup(members)
+
+
+def monitored_barrier(
+    timeout: Optional[float] = None, group=None
+) -> None:
+    """A barrier that *names* the ranks that failed to reach it.
+
+    The plain ``barrier()`` collective inherits the failure mode it is
+    supposed to debug: if a rank diverged, the barrier itself hangs into
+    an anonymous timeout.  ``monitored_barrier`` runs through the
+    rendezvous store instead — every rank checks in, the group's first
+    rank (the monitor) waits for all arrivals and releases everyone, and
+    a timeout raises on the monitor with the exact set of missing ranks
+    (on other ranks, with the monitor named as unresponsive).
+
+    Like ``torch.distributed.monitored_barrier``: every member rank must
+    call it the same number of times, at the same points.
+    """
+    ctx = get_context()
+    pg = group if group is not None else ctx.default_group
+    if pg is not None:
+        ranks, group_id, store = list(pg.ranks), pg._group_id, pg.store
+        my_rank = pg.global_rank
+        timeout = timeout if timeout is not None else pg.timeout
+    else:
+        ranks, group_id, store = list(range(ctx.world_size)), "ctx", ctx.store
+        my_rank = ctx.rank
+        timeout = timeout if timeout is not None else store.timeout
+    # Per-rank call counter: all ranks call in the same order, so the
+    # counter aligns barrier instances without a collective.
+    seq = store.add(f"mb/{group_id}/count/rank{my_rank}", 1)
+    prefix = f"mb/{group_id}/{seq}"
+    store.set(f"{prefix}/arrive/rank{my_rank}", time.perf_counter())
+    monitor = ranks[0]
+    if my_rank == monitor:
+        arrive_keys = [f"{prefix}/arrive/rank{r}" for r in ranks]
+        try:
+            store.wait(arrive_keys, timeout=timeout)
+        except StoreTimeoutError:
+            missing = sorted(
+                r for r in ranks
+                if store.try_get(f"{prefix}/arrive/rank{r}") is None
+            )
+            store.set(f"{prefix}/release", {"ok": False, "missing": missing})
+            raise RuntimeError(
+                f"monitored_barrier #{seq} (group {group_id}) timed out "
+                f"after {timeout}s: rank(s) {missing} never reached the "
+                f"barrier (diverged, hung, or exited)"
+            ) from None
+        store.set(f"{prefix}/release", {"ok": True})
+    else:
+        try:
+            release = store.get(f"{prefix}/release", timeout=timeout)
+        except StoreTimeoutError:
+            raise RuntimeError(
+                f"monitored_barrier #{seq} (group {group_id}): no release "
+                f"from monitor rank {monitor} within {timeout}s (the "
+                f"monitor hung, or is itself waiting on a missing rank)"
+            ) from None
+        if not release["ok"]:
+            raise RuntimeError(
+                f"monitored_barrier #{seq} (group {group_id}) failed: "
+                f"monitor rank {monitor} reported rank(s) "
+                f"{release['missing']} missing"
+            )
 
 
 def destroy_process_group() -> None:

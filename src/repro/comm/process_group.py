@@ -28,10 +28,14 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.comm import algorithms
-from repro.comm.store import Store
+from repro.comm.store import Store, StoreTimeoutError
 from repro.comm.transport import TransportHub, TransportTimeoutError
+from repro.debug import desync as _desync
+from repro.debug.flight_recorder import current_collective_context, recorder_for
+from repro.debug.levels import DEBUG, DETAIL
 from repro.telemetry.metrics import registry_for
 from repro.telemetry.spans import TRACER
+from repro.utils.logging import logger
 from repro.utils.rank import set_current_rank
 
 
@@ -75,8 +79,15 @@ class Work:
         self.meta = meta
         self._t_start: Optional[float] = None
         self._t_end: Optional[float] = None
+        # Flight-recorder record for this collective (debug mode only).
+        self._debug_record = None
 
     def _complete(self, error: Optional[BaseException] = None) -> None:
+        # First completion wins: the hang watchdog may fail a stuck Work
+        # with a desync report before the worker's own (less precise)
+        # transport timeout surfaces; keep the richer error.
+        if self._done.is_set():
+            return
         self._error = error
         self._done.set()
 
@@ -86,8 +97,13 @@ class Work:
     def wait(self, timeout: Optional[float] = None) -> None:
         """Block until the collective finishes; re-raise any failure."""
         if not self._done.wait(timeout):
+            detail = ""
+            if self.meta:
+                detail = " (" + ", ".join(
+                    f"{key}={value}" for key, value in sorted(self.meta.items())
+                ) + ")"
             raise CollectiveTimeoutError(
-                f"timed out waiting for collective {self.description!r}"
+                f"timed out waiting for collective {self.description!r}{detail}"
             )
         if self._error is not None:
             raise self._error
@@ -159,6 +175,11 @@ class ProcessGroup:
         # Byte counter for tests and reporting.
         self.bytes_communicated = 0
         self._closed = False
+        # (work, started-at) while the worker executes a collective; the
+        # hang watchdog polls this.  Set/cleared by the worker thread.
+        self._inflight = None
+        #: Set when shutdown could not join the communication worker.
+        self.worker_stuck = False
 
         # Rendezvous: block until every member has constructed (paper §3.3).
         arrival_key = f"pg{self._group_id}/arrivals"
@@ -166,6 +187,16 @@ class ProcessGroup:
         self.store.wait_value(
             arrival_key, lambda v: v >= len(self.ranks), timeout=timeout
         )
+
+        # Debug layer (REPRO_DEBUG=INFO|DETAIL): per-rank flight recorder
+        # plus a hang watchdog thread for this group membership.
+        self.flight_recorder = None
+        self._watchdog = None
+        if DEBUG.level:
+            self.flight_recorder = recorder_for(rank)
+            from repro.debug.watchdog import HangWatchdog
+
+            self._watchdog = HangWatchdog(self)
 
         # The dedicated communication worker ("stream").
         self._queue: "queue.Queue" = queue.Queue()
@@ -175,6 +206,8 @@ class ProcessGroup:
             daemon=True,
         )
         self._worker.start()
+        if self._watchdog is not None:
+            self._watchdog.start()
 
     # ------------------------------------------------------------------
     # worker machinery
@@ -190,12 +223,19 @@ class ProcessGroup:
                 return
             fn, work = item
             error: Optional[BaseException] = None
+            record = work._debug_record
+            if record is not None:
+                self.flight_recorder.mark_started(record)
+            self._inflight = (work, time.perf_counter())
             work._t_start = time.perf_counter()
             try:
                 fn()
             except BaseException as exc:  # propagate through the Work handle
                 error = exc
             work._t_end = time.perf_counter()
+            self._inflight = None
+            if record is not None:
+                self.flight_recorder.mark_completed(record, error)
             if TRACER.enabled:
                 args = dict(work.meta) if work.meta else {}
                 if error is not None:
@@ -212,48 +252,143 @@ class ProcessGroup:
             work._complete(error)
 
     def _submit(
-        self, fn, description: str, async_op: bool, meta: Optional[dict] = None
+        self,
+        fn,
+        description: str,
+        async_op: bool,
+        meta: Optional[dict] = None,
+        fingerprint: Optional[dict] = None,
     ) -> Optional[Work]:
         if self._closed:
             raise CollectiveError("process group has been shut down")
         work = Work(description, meta)
+        if self.flight_recorder is not None and DEBUG.level:
+            fp = fingerprint or {}
+            work._debug_record = self.flight_recorder.record_scheduled(
+                seq=(meta or {}).get("seq", -1),
+                op=fp.get("op") or (meta or {}).get("op", description),
+                group_id=self._group_id,
+                shape=fp.get("shape"),
+                dtype=fp.get("dtype"),
+                nbytes=fp.get("nbytes"),
+                extra={k: v for k, v in fp.items()
+                       if k not in ("op", "shape", "dtype", "nbytes")},
+                context=current_collective_context(),
+            )
         self._queue.put((fn, work))
         if async_op:
             return work
         work.wait(self.timeout + 5.0)
         return None
 
-    def shutdown(self) -> None:
-        """Stop the worker thread (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            self._queue.put(None)
-            self._worker.join(timeout=5.0)
+    def shutdown(self, grace: float = 2.0) -> bool:
+        """Stop the worker thread (idempotent); returns True if it joined.
+
+        A worker blocked in a transport ``recv`` (its peer diverged or
+        died) cannot see the queue sentinel, so after ``grace`` seconds
+        the hub is closed to wake it with ``TransportClosedError``
+        instead of stranding the thread.  A worker that still fails to
+        join is reported via ``worker_stuck`` and a log line.
+        """
+        if self._closed:
+            return not self._worker.is_alive()
+        self._closed = True
+        if self._watchdog is not None:
+            # Leave a parting snapshot so a peer's watchdog can still
+            # attribute a later hang to this (exited) rank.
+            try:
+                self._watchdog.publish_state(status="shutdown")
+            except Exception:
+                logger.exception("failed to publish parting debug state")
+            self._watchdog.stop()
+        self._queue.put(None)
+        self._worker.join(timeout=min(grace, self.timeout))
+        if self._worker.is_alive():
+            logger.warning(
+                "comm worker of group %s on rank %d did not drain within "
+                "%.1fs; closing the transport hub to unblock it",
+                self._group_id, self.global_rank, min(grace, self.timeout),
+            )
+            self.hub.close()
+            self._worker.join(timeout=min(grace, self.timeout))
+        self.worker_stuck = self._worker.is_alive()
+        if self.worker_stuck:
+            logger.error(
+                "comm worker of group %s on rank %d failed to join even "
+                "after the transport hub was closed (thread %s stranded)",
+                self._group_id, self.global_rank, self._worker.name,
+            )
+        return not self.worker_stuck
 
     # ------------------------------------------------------------------
     # consistency checking
     # ------------------------------------------------------------------
-    def _check_signature(self, seq: int, signature: tuple) -> None:
+    def _check_signature(self, seq: int, signature: dict) -> None:
         """Verify all ranks issue the same collective at sequence ``seq``.
 
-        The group leader publishes its signature; everyone else compares.
-        Real libraries would corrupt data or hang here (paper §3.3); we
-        raise a precise error instead.
+        The group leader publishes its fingerprint (op, shape, dtype,
+        nbytes, reduce op / src / root); everyone else compares.  Real
+        libraries would corrupt data or hang here (paper §3.3); we raise
+        a :class:`CollectiveMismatchError` carrying a field-level diff —
+        and, under ``REPRO_DEBUG=DETAIL``, every rank's signature so the
+        report shows exactly who diverged.
         """
         if not self.check_consistency:
             return
         key = f"pg{self._group_id}/sig/{seq}"
+        detail = DEBUG.level >= DETAIL
+        if detail:
+            self.store.set(f"{key}/rank{self.global_rank}", signature)
         if self.group_rank == 0:
             self.store.set(key, signature)
-        else:
-            leader_sig = self.store.get(key, timeout=self.timeout)
-            if leader_sig != signature:
-                raise CollectiveMismatchError(
-                    f"collective #{seq} mismatch in group {self._group_id}: "
-                    f"rank {self.global_rank} issued {signature}, "
-                    f"leader issued {leader_sig}. All ranks must launch "
-                    f"collectives in the same order with matching shapes."
+            return
+        leader_sig = self._wait_leader_signature(key, seq)
+        if leader_sig != signature:
+            peer_sigs = None
+            if detail:
+                # Best-effort gather: peers publish before comparing, so
+                # a short wait usually collects the whole group.
+                deadline = time.perf_counter() + min(1.0, self.timeout / 4.0)
+                keys = {r: f"{key}/rank{r}" for r in self.ranks}
+                while time.perf_counter() < deadline:
+                    if all(self.store.try_get(k) is not None for k in keys.values()):
+                        break
+                    time.sleep(0.01)
+                peer_sigs = {
+                    r: sig for r, k in keys.items()
+                    if (sig := self.store.try_get(k)) is not None
+                }
+            raise CollectiveMismatchError(
+                _desync.render_mismatch(
+                    self._group_id, seq, self.global_rank, signature,
+                    self.ranks[0], leader_sig, peer_sigs,
                 )
+            )
+
+    def _wait_leader_signature(self, key: str, seq: int) -> dict:
+        """Blocking read of the leader's signature, sliced so a shutdown
+        (``self._closed``) wakes the worker instead of stranding it for
+        the full group timeout."""
+        deadline = time.perf_counter() + self.timeout
+        while True:
+            remaining = deadline - time.perf_counter()
+            try:
+                return self.store.get(key, timeout=max(0.0, min(0.25, remaining)))
+            except StoreTimeoutError:
+                if self._closed:
+                    raise CollectiveError(
+                        f"process group {self._group_id} shut down while "
+                        f"waiting for the leader's signature of collective "
+                        f"#{seq}"
+                    ) from None
+                if remaining <= 0:
+                    raise CollectiveTimeoutError(
+                        f"rank {self.global_rank} timed out after "
+                        f"{self.timeout}s waiting for the leader (rank "
+                        f"{self.ranks[0]}) to issue collective #{seq} in "
+                        f"group {self._group_id} — the leader diverged, "
+                        f"hung, or exited"
+                    ) from None
 
     def _next_tag(self, op_name: str) -> tuple:
         seq = self._seq
@@ -286,7 +421,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("allreduce")
         seq = tag[1]
-        signature = ("allreduce", array.shape, str(array.dtype), op)
+        signature = _desync.fingerprint("allreduce", array, reduce_op=op)
         algorithm = algorithms.ALLREDUCE_ALGORITHMS[self.algorithm]
         self.bytes_communicated += array.nbytes
         self._record_op_metrics("allreduce", array.nbytes)
@@ -302,12 +437,15 @@ class ProcessGroup:
 
         meta = {
             "op": "allreduce",
+            "seq": seq,
             "bytes": array.nbytes,
             "algorithm": self.algorithm,
             "reduce_op": op,
             "group": self._group_id,
         }
-        return self._submit(run, f"allreduce#{seq}", async_op, meta=meta)
+        return self._submit(
+            run, f"allreduce#{seq}", async_op, meta=meta, fingerprint=signature
+        )
 
     def broadcast(self, tensor, src: int = 0, async_op: bool = False):
         """Broadcast from group-rank ``src`` into every rank's tensor."""
@@ -315,7 +453,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("broadcast")
         seq = tag[1]
-        signature = ("broadcast", array.shape, str(array.dtype), src)
+        signature = _desync.fingerprint("broadcast", array, src=src)
         self.bytes_communicated += array.nbytes
         self._record_op_metrics("broadcast", array.nbytes)
 
@@ -328,9 +466,11 @@ class ProcessGroup:
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
 
-        meta = {"op": "broadcast", "bytes": array.nbytes, "src": src,
+        meta = {"op": "broadcast", "seq": seq, "bytes": array.nbytes, "src": src,
                 "group": self._group_id}
-        return self._submit(run, f"broadcast#{seq}", async_op, meta=meta)
+        return self._submit(
+            run, f"broadcast#{seq}", async_op, meta=meta, fingerprint=signature
+        )
 
     def allgather(self, tensor, async_op: bool = False):
         """Gather every rank's tensor; sync form returns (world, n) array."""
@@ -338,7 +478,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("allgather")
         seq = tag[1]
-        signature = ("allgather", array.shape, str(array.dtype))
+        signature = _desync.fingerprint("allgather", array)
         self.bytes_communicated += array.nbytes * len(self.ranks)
         self._record_op_metrics("allgather", array.nbytes * len(self.ranks))
         result: list = [None]
@@ -352,9 +492,11 @@ class ProcessGroup:
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
 
-        meta = {"op": "allgather", "bytes": array.nbytes * len(self.ranks),
-                "group": self._group_id}
-        work = self._submit(run, f"allgather#{seq}", async_op, meta=meta)
+        meta = {"op": "allgather", "seq": seq,
+                "bytes": array.nbytes * len(self.ranks), "group": self._group_id}
+        work = self._submit(
+            run, f"allgather#{seq}", async_op, meta=meta, fingerprint=signature
+        )
         if async_op:
             work.result = result  # type: ignore[attr-defined]
             return work
@@ -366,7 +508,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("reduce_scatter")
         seq = tag[1]
-        signature = ("reduce_scatter", array.shape, str(array.dtype), op)
+        signature = _desync.fingerprint("reduce_scatter", array, reduce_op=op)
         self.bytes_communicated += array.nbytes
         self._record_op_metrics("reduce_scatter", array.nbytes)
         result: list = [None]
@@ -377,8 +519,10 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, op, tag, self.timeout
             )
 
-        meta = {"op": "reduce_scatter", "bytes": array.nbytes, "group": self._group_id}
-        self._submit(run, f"reduce_scatter#{seq}", async_op=False, meta=meta)
+        meta = {"op": "reduce_scatter", "seq": seq, "bytes": array.nbytes,
+                "group": self._group_id}
+        self._submit(run, f"reduce_scatter#{seq}", async_op=False, meta=meta,
+                     fingerprint=signature)
         return result[0]
 
     def reduce(self, tensor, root: int = 0, op: str = ReduceOp.SUM):
@@ -387,7 +531,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("reduce")
         seq = tag[1]
-        signature = ("reduce", array.shape, str(array.dtype), root, op)
+        signature = _desync.fingerprint("reduce", array, root=root, reduce_op=op)
         self.bytes_communicated += array.nbytes
         self._record_op_metrics("reduce", array.nbytes)
 
@@ -397,8 +541,10 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, root, op, tag, self.timeout
             )
 
-        meta = {"op": "reduce", "bytes": array.nbytes, "group": self._group_id}
-        self._submit(run, f"reduce#{seq}", async_op=False, meta=meta)
+        meta = {"op": "reduce", "seq": seq, "bytes": array.nbytes,
+                "group": self._group_id}
+        self._submit(run, f"reduce#{seq}", async_op=False, meta=meta,
+                     fingerprint=signature)
 
     def gather(self, tensor, root: int = 0):
         """Gather tensors at ``root``; returns (world, n) there, None elsewhere."""
@@ -406,7 +552,7 @@ class ProcessGroup:
         array = _as_array(tensor)
         tag = self._next_tag("gather")
         seq = tag[1]
-        signature = ("gather", array.shape, str(array.dtype), root)
+        signature = _desync.fingerprint("gather", array, root=root)
         self.bytes_communicated += array.nbytes
         self._record_op_metrics("gather", array.nbytes)
         result: list = [None]
@@ -417,15 +563,17 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, array, root, tag, self.timeout
             )
 
-        meta = {"op": "gather", "bytes": array.nbytes, "group": self._group_id}
-        self._submit(run, f"gather#{seq}", async_op=False, meta=meta)
+        meta = {"op": "gather", "seq": seq, "bytes": array.nbytes,
+                "group": self._group_id}
+        self._submit(run, f"gather#{seq}", async_op=False, meta=meta,
+                     fingerprint=signature)
         return result[0]
 
     def scatter(self, chunks=None, root: int = 0):
         """Scatter root's per-rank chunks; returns this rank's chunk."""
         tag = self._next_tag("scatter")
         seq = tag[1]
-        signature = ("scatter", root)
+        signature = _desync.fingerprint("scatter", root=root)
         result: list = [None]
 
         def run() -> None:
@@ -434,8 +582,9 @@ class ProcessGroup:
                 self.hub, self.ranks, self.group_rank, chunks, root, tag, self.timeout
             )
 
-        meta = {"op": "scatter", "group": self._group_id}
-        self._submit(run, f"scatter#{seq}", async_op=False, meta=meta)
+        meta = {"op": "scatter", "seq": seq, "group": self._group_id}
+        self._submit(run, f"scatter#{seq}", async_op=False, meta=meta,
+                     fingerprint=signature)
         return result[0]
 
     def send(self, tensor, dst: int, tag: object = "p2p") -> None:
@@ -462,13 +611,15 @@ class ProcessGroup:
     def barrier(self) -> None:
         tag = self._next_tag("barrier")
         seq = tag[1]
+        signature = _desync.fingerprint("barrier")
 
         def run() -> None:
-            self._check_signature(seq, ("barrier",))
+            self._check_signature(seq, signature)
             algorithms.barrier(self.hub, self.ranks, self.group_rank, tag, self.timeout)
 
-        meta = {"op": "barrier", "group": self._group_id}
-        self._submit(run, f"barrier#{seq}", async_op=False, meta=meta)
+        meta = {"op": "barrier", "seq": seq, "group": self._group_id}
+        self._submit(run, f"barrier#{seq}", async_op=False, meta=meta,
+                     fingerprint=signature)
 
 
 class ProcessGroupNccl(ProcessGroup):

@@ -47,6 +47,36 @@ class RoundRobinProcessGroup:
     def bytes_communicated(self) -> int:
         return sum(g.bytes_communicated for g in self.groups)
 
+    # Debug-layer surfaces (flight recorder, DDP consistency checks,
+    # monitored_barrier) address the composite through its first member.
+    @property
+    def store(self):
+        return self.groups[0].store
+
+    @property
+    def global_rank(self) -> int:
+        return self.groups[0].global_rank
+
+    @property
+    def ranks(self):
+        return self.groups[0].ranks
+
+    @property
+    def timeout(self) -> float:
+        return self.groups[0].timeout
+
+    @property
+    def _group_id(self):
+        return self.groups[0]._group_id
+
+    @property
+    def flight_recorder(self):
+        return self.groups[0].flight_recorder
+
+    @property
+    def _watchdog(self):
+        return self.groups[0]._watchdog
+
     def _pick(self) -> ProcessGroup:
         group = self.groups[self._next]
         self._next = (self._next + 1) % len(self.groups)
@@ -64,6 +94,8 @@ class RoundRobinProcessGroup:
     def barrier(self) -> None:
         self._pick().barrier()
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> bool:
+        ok = True
         for group in self.groups:
-            group.shutdown()
+            ok = group.shutdown() and ok
+        return ok

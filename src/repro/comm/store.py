@@ -39,6 +39,15 @@ class Store:
                 raise StoreTimeoutError(f"store.get({key!r}) timed out after {deadline}s")
             return self._data[key]
 
+    def try_get(self, key: str, default: Any = None) -> Any:
+        """Non-blocking read: ``key``'s value, or ``default`` if unset.
+
+        The debug watchdog polls with this — peeking for an alarm or a
+        peer's state must never block behind a rank that will not write.
+        """
+        with self._lock:
+            return self._data.get(key, default)
+
     def add(self, key: str, amount: int = 1) -> int:
         """Atomically add to an integer key, creating it at 0; returns the new value."""
         with self._lock:

@@ -48,6 +48,10 @@ class TransportHub:
         self._closed = False
         self.messages_sent = [0] * world_size
         self.bytes_sent = [0] * world_size
+        # Live registry of blocked receivers, keyed by an opaque token —
+        # the debug watchdog's "who is stuck waiting on whom" evidence.
+        self._waiting: Dict[int, Tuple[int, int, Hashable, float]] = {}
+        self._wait_token = 0
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:
@@ -84,9 +88,15 @@ class TransportHub:
         traced = TRACER.enabled
         t_start = time.perf_counter() if traced else 0.0
         with self._cond:
-            ok = self._cond.wait_for(
-                lambda: self._closed or bool(self._mailboxes.get(key)), deadline
-            )
+            token = self._wait_token
+            self._wait_token += 1
+            self._waiting[token] = (dst, src, tag, time.perf_counter())
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._closed or bool(self._mailboxes.get(key)), deadline
+                )
+            finally:
+                self._waiting.pop(token, None)
             if self._closed:
                 raise TransportClosedError("transport hub closed during recv")
             if not ok:
@@ -112,6 +122,29 @@ class TransportHub:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def blocked_receivers(self) -> list:
+        """Snapshot of ranks currently blocked in :meth:`recv`.
+
+        Each entry names the blocked rank, the rank it is waiting on,
+        the tag, and how long it has been blocked — the transport-level
+        view a desync report attaches per rank.
+        """
+        now = time.perf_counter()
+        with self._cond:
+            return [
+                {
+                    "rank": dst,
+                    "waiting_on": src,
+                    "tag": repr(tag),
+                    "blocked_s": now - since,
+                }
+                for dst, src, tag, since in self._waiting.values()
+            ]
 
     def reset_stats(self) -> None:
         with self._cond:

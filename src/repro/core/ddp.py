@@ -26,6 +26,8 @@ from repro.autograd.tensor import Tensor
 from repro.comm.distributed import get_context
 from repro.core.bucket import compute_bucket_assignment
 from repro.core.reducer import CommHook, Reducer
+from repro.debug.flight_recorder import collective_context
+from repro.debug.levels import DEBUG, DETAIL, INFO, debug_level_name
 from repro.nn.module import Module
 from repro.telemetry import spans as _spans
 from repro.utils.units import MB
@@ -94,10 +96,23 @@ class DistributedDataParallel(Module):
         self._params = list(module.parameters())
         if not self._params:
             raise ValueError("DistributedDataParallel requires a model with parameters")
+        self._param_names = [name for name, _ in module.named_parameters()]
+
+        # (0) REPRO_DEBUG=INFO: verify every replica wrapped the same
+        # architecture *before* broadcasting, so a rank that built a
+        # different model fails with a named parameter diff instead of a
+        # shape error (or silent corruption) deep inside the broadcast.
+        if DEBUG.level >= INFO:
+            self._verify_replica_structure()
 
         # (1) Replicas must start from identical state: broadcast
         # parameters and buffers from rank 0 (Algorithm 1 lines 2-3).
         self._broadcast_module_state()
+
+        # (0b) REPRO_DEBUG=DETAIL: after the broadcast every replica must
+        # hold bit-identical parameter values; checksum and compare.
+        if DEBUG.level >= DETAIL:
+            self._verify_replica_values()
 
         # (2) Bucket assignment in reverse parameters() order.
         bucket_specs = compute_bucket_assignment(
@@ -124,6 +139,7 @@ class DistributedDataParallel(Module):
             overlap=overlap,
             comm_hook=comm_hook,
             order_tracer=tracer,
+            param_names=self._param_names,
         )
         self._rebucket_after = rebucket_after_iterations
         self._rebucket_done = not trace_backward_order
@@ -135,10 +151,92 @@ class DistributedDataParallel(Module):
 
     # ------------------------------------------------------------------
     def _broadcast_module_state(self) -> None:
-        for param in self._params:
-            self.process_group.broadcast(param, src=0)
-        for buffer in self.module.buffers():
-            self.process_group.broadcast(buffer, src=0)
+        label = (
+            collective_context("ddp init broadcast")
+            if DEBUG.level
+            else contextlib.nullcontext()
+        )
+        with label:
+            for param in self._params:
+                self.process_group.broadcast(param, src=0)
+            for buffer in self.module.buffers():
+                self.process_group.broadcast(buffer, src=0)
+
+    # ------------------------------------------------------------------
+    # REPRO_DEBUG replica consistency checks (TORCH_DISTRIBUTED_DEBUG
+    # analog): exchange model fingerprints through the rendezvous store
+    # and diff against the group leader, naming the offending parameter.
+    # ------------------------------------------------------------------
+    def _debug_exchange(self, kind: str, payload):
+        """Publish ``payload`` and return the group leader's copy, or
+        ``None`` when the group has no store (e.g. test fakes)."""
+        group = self.process_group
+        store = getattr(group, "store", None)
+        ranks = getattr(group, "ranks", None)
+        if store is None or not ranks:
+            return None
+        gid = getattr(group, "_group_id", "pg")
+        my_rank = group.global_rank
+        # Per-rank construction counter aligns the nth DDP wrap on every
+        # rank, so several models per run don't cross wires.
+        nth = store.add(f"ddpchk/{gid}/{kind}/count/rank{my_rank}", 1)
+        key = f"ddpchk/{gid}/{kind}/{nth}"
+        store.set(f"{key}/rank{my_rank}", payload)
+        leader = ranks[0]
+        if my_rank == leader:
+            return payload
+        return store.get(f"{key}/rank{leader}", timeout=group.timeout)
+
+    def _verify_replica_structure(self) -> None:
+        mine = [
+            {
+                "name": name,
+                "shape": tuple(param.shape),
+                "dtype": str(param.data.dtype),
+            }
+            for name, param in zip(self._param_names, self._params)
+        ]
+        leaders = self._debug_exchange("struct", mine)
+        if leaders is None or leaders == mine:
+            return
+        rank = self.process_group.global_rank
+        leader = self.process_group.ranks[0]
+        problems = []
+        if len(mine) != len(leaders):
+            problems.append(
+                f"parameter count differs: rank {rank} has {len(mine)}, "
+                f"rank {leader} has {len(leaders)}"
+            )
+        for ours, theirs in zip(mine, leaders):
+            if ours != theirs:
+                problems.append(
+                    f"{ours['name']}: rank {rank} has "
+                    f"{ours['shape']}/{ours['dtype']}, rank {leader} has "
+                    f"{theirs['shape']}/{theirs['dtype']} ({theirs['name']})"
+                )
+        raise RuntimeError(
+            f"DDP replica structure mismatch (REPRO_DEBUG="
+            f"{debug_level_name()}): rank {rank} wrapped a different model "
+            f"than rank {leader}:\n  " + "\n  ".join(problems[:10])
+        )
+
+    def _verify_replica_values(self) -> None:
+        mine = [float(param.data.sum()) for param in self._params]
+        leaders = self._debug_exchange("values", mine)
+        if leaders is None:
+            return
+        bad = [
+            f"{self._param_names[i]}: checksum {ours!r} != leader's {theirs!r}"
+            for i, (ours, theirs) in enumerate(zip(mine, leaders))
+            if ours != theirs
+        ]
+        if bad:
+            rank = self.process_group.global_rank
+            raise RuntimeError(
+                f"DDP replica value mismatch after state broadcast "
+                f"(REPRO_DEBUG={debug_level_name()}) on rank {rank}:\n  "
+                + "\n  ".join(bad[:10])
+            )
 
     def _broadcast_buffers_now(self) -> None:
         for buffer in self.module.buffers():
@@ -283,6 +381,19 @@ class DistributedDataParallel(Module):
                 bucket_latencies.get(b.spec.index, 0.0) for b in reducer.buckets
             ],
             "last_iteration": dict(reducer.last_iteration_stats),
+            "debug": self._debug_stats(),
+        }
+
+    def _debug_stats(self) -> dict:
+        """REPRO_DEBUG layer state: flight-recorder depth and watchdog
+        status for this rank's process group (all zeros/None when OFF)."""
+        group = self.process_group
+        recorder = getattr(group, "flight_recorder", None)
+        watchdog = getattr(group, "_watchdog", None)
+        return {
+            "level": debug_level_name(),
+            "flight_recorder_depth": recorder.depth() if recorder else 0,
+            "watchdog": watchdog.status() if watchdog else None,
         }
 
     def check_stragglers(self, threshold: float = 1.5):

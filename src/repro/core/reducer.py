@@ -23,6 +23,7 @@ Responsibilities, mirroring the paper's four components:
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -33,6 +34,8 @@ from repro.autograd.graph import collect_participating_accumulators
 from repro.autograd.tensor import Tensor
 from repro.comm.process_group import ReduceOp
 from repro.core.bucket import BucketSpec, validate_assignment
+from repro.debug.flight_recorder import collective_context
+from repro.debug.levels import DEBUG
 from repro.telemetry.metrics import registry_for
 from repro.telemetry.recorder import IterationRecorder
 from repro.telemetry.spans import TRACER
@@ -102,8 +105,17 @@ class Reducer:
         overlap: bool = True,
         comm_hook: Optional[CommHook] = None,
         order_tracer=None,
+        param_names: Optional[Sequence[str]] = None,
     ):
         self.params: List[Tensor] = list(params)
+        # Human-readable names (``module.named_parameters()`` order) so
+        # error paths can say *which* parameter never produced a
+        # gradient, not just its index.
+        self.param_names: List[str] = (
+            list(param_names)
+            if param_names is not None
+            else [f"param{i}" for i in range(len(self.params))]
+        )
         validate_assignment(bucket_specs, len(self.params))
         self.process_group = process_group
         self.world_size = process_group.size
@@ -135,6 +147,9 @@ class Reducer:
         # Persistent across no_sync iterations (paper §3.2.4): cleared
         # only when a bitmap AllReduce consumes it.
         self._local_used = np.zeros(len(self.params), dtype=np.int32)
+        # Which parameters were marked ready this iteration — the error
+        # path's evidence for naming unready parameters.
+        self._grad_ready = np.zeros(len(self.params), dtype=bool)
 
         self._expect_hooks = False
         self._next_bucket = 0
@@ -174,10 +189,11 @@ class Reducer:
                 "iteration before starting a new one. This usually means some "
                 "parameters did not receive gradients during backward. Enable "
                 "find_unused_parameters=True if your model's graph changes "
-                "between iterations."
+                "between iterations." + self._unready_parameter_report()
             )
         for bucket in self.buckets:
             bucket.reset()
+        self._grad_ready[...] = False
         self._next_bucket = 0
         self._buckets_finished = 0
         self._finalized = False
@@ -210,7 +226,58 @@ class Reducer:
             registry_for(self.recorder.rank).counter("hook.fire_count").add(1)
         self._mark_ready(index, unused=False)
 
+    def unready_parameters(self) -> List[dict]:
+        """Parameters still missing from the current (unfinalized)
+        reduction: ``[{"index", "name", "shape"}, ...]``."""
+        if self._finalized:
+            return []
+        return [
+            {
+                "index": index,
+                "name": self.param_names[index],
+                "shape": tuple(self.params[index].shape),
+            }
+            for index in range(len(self.params))
+            if not self._grad_ready[index]
+        ]
+
+    def _unready_parameter_report(self) -> str:
+        """Name the unready parameters — locally always, per-rank when
+        ``REPRO_DEBUG`` is on and peers published their own sets."""
+        unready = self.unready_parameters()
+        if not unready:
+            return ""
+        shown = ", ".join(
+            f"{entry['name']} (index {entry['index']}, shape {entry['shape']})"
+            for entry in unready[:10]
+        )
+        if len(unready) > 10:
+            shown += f", ... and {len(unready) - 10} more"
+        report = (
+            f" Unready parameter(s) on this rank: [{shown}] out of "
+            f"{len(self.params)}."
+        )
+        store = getattr(self.process_group, "store", None)
+        if DEBUG.level and store is not None:
+            group_id = getattr(self.process_group, "_group_id", 0)
+            rank = getattr(self.process_group, "global_rank", self.recorder.rank)
+            store.set(
+                f"reducer_unready/{group_id}/rank{rank}",
+                [entry["name"] for entry in unready],
+            )
+            peer_lines = []
+            for peer in getattr(self.process_group, "ranks", ()):
+                if peer == rank:
+                    continue
+                names = store.try_get(f"reducer_unready/{group_id}/rank{peer}")
+                if names is not None:
+                    peer_lines.append(f"rank {peer}: {names}")
+            if peer_lines:
+                report += " Peer ranks reported: " + "; ".join(peer_lines) + "."
+        return report
+
     def _mark_ready(self, param_index: int, unused: bool) -> None:
+        self._grad_ready[param_index] = True
         position, slot = self._locator[param_index]
         bucket = self.buckets[position]
         spec = bucket.spec
@@ -269,12 +336,22 @@ class Reducer:
             bucket.spec.index,
             bucket.spec.total_elements,
         )
-        if self.comm_hook is not None:
-            bucket.work = self.comm_hook(self.process_group, bucket.tensor, self.world_size)
-        else:
-            bucket.work = self.process_group.allreduce(
-                bucket.tensor, ReduceOp.SUM, async_op=True
-            )
+        # Label the collective with its bucket so flight-recorder entries
+        # read "allreduce#12 [bucket 3]" in a desync report.
+        label = (
+            collective_context(f"bucket {bucket.spec.index}")
+            if DEBUG.level
+            else contextlib.nullcontext()
+        )
+        with label:
+            if self.comm_hook is not None:
+                bucket.work = self.comm_hook(
+                    self.process_group, bucket.tensor, self.world_size
+                )
+            else:
+                bucket.work = self.process_group.allreduce(
+                    bucket.tensor, ReduceOp.SUM, async_op=True
+                )
 
     def _finalize_backward(self) -> None:
         """Wait for communication, average, and write gradients back.
@@ -334,7 +411,13 @@ class Reducer:
         else:
             device = getattr(self.params[0], "device", "cpu")
             staging = Tensor(bitmap, device=device)
-        work = self.process_group.allreduce(staging, ReduceOp.SUM, async_op=True)
+        label = (
+            collective_context("unused-param bitmap")
+            if DEBUG.level
+            else contextlib.nullcontext()
+        )
+        with label:
+            work = self.process_group.allreduce(staging, ReduceOp.SUM, async_op=True)
         work.wait()
         # The communication consumed the accumulated local record.
         self._local_used[...] = 0

@@ -1,0 +1,287 @@
+"""Per-rank collective flight recorder.
+
+The analog of NCCL's / TorchTitan's flight recorder: a bounded ring
+buffer that records every collective's lifecycle on the rank that issued
+it — sequence number, op, group id, payload fingerprint (shape, dtype,
+nbytes, reduce op / src / root), the caller context (e.g. which reducer
+bucket launched it), and scheduled → started → completed timestamps.
+
+When a run desyncs, the recorders are the evidence: merge every rank's
+dump and the "last N collectives per rank" table shows exactly which
+rank stopped issuing collectives, at which sequence number, and what it
+was doing instead.
+
+Recording is gated by ``REPRO_DEBUG`` (see :mod:`repro.debug.levels`):
+with the level at ``OFF`` no recorder is ever attached and no record is
+written.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Records retained per rank before the ring drops the oldest.
+DEFAULT_CAPACITY = 256
+
+# Lifecycle states.
+SCHEDULED = "scheduled"
+STARTED = "started"
+COMPLETED = "completed"
+FAILED = "failed"
+
+#: Caller-context label (e.g. "bucket 3") attached to records scheduled
+#: while the context manager below is active.  A contextvar so reducer
+#: code can label collectives without widening the ProcessGroup API.
+_collective_context: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_collective_context", default=None
+)
+
+
+@contextlib.contextmanager
+def collective_context(label: str):
+    """Label collectives scheduled inside the block (``context`` field)."""
+    token = _collective_context.set(label)
+    try:
+        yield
+    finally:
+        _collective_context.reset(token)
+
+
+def current_collective_context() -> Optional[str]:
+    return _collective_context.get()
+
+
+class CollectiveRecord:
+    """One collective's lifecycle as seen by the issuing rank."""
+
+    __slots__ = (
+        "seq", "op", "group_id", "shape", "dtype", "nbytes", "extra",
+        "context", "state", "t_sched", "t_start", "t_end", "error",
+    )
+
+    def __init__(self, seq, op, group_id, shape, dtype, nbytes, extra, context):
+        self.seq = seq
+        self.op = op
+        self.group_id = group_id
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+        self.extra = extra
+        self.context = context
+        self.state = SCHEDULED
+        self.t_sched = time.perf_counter()
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
+        self.error: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.op}#{self.seq}@pg{self.group_id}"
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "group_id": self.group_id,
+            "shape": list(self.shape) if self.shape is not None else None,
+            "dtype": self.dtype,
+            "nbytes": self.nbytes,
+            "extra": dict(self.extra) if self.extra else {},
+            "context": self.context,
+            "state": self.state,
+            "t_sched": self.t_sched,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        return f"<CollectiveRecord {self.describe()} {self.state}>"
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`CollectiveRecord` for one rank.
+
+    The issuing (caller) thread records ``scheduled``; the communication
+    worker records ``started`` and ``completed``/``failed`` — one short
+    lock guards the ring.
+    """
+
+    def __init__(self, rank: int, capacity: int = DEFAULT_CAPACITY):
+        self.rank = rank
+        self.capacity = capacity
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+
+    # -- recording ------------------------------------------------------
+    def record_scheduled(
+        self,
+        seq: int,
+        op: str,
+        group_id,
+        shape=None,
+        dtype=None,
+        nbytes=None,
+        extra: Optional[dict] = None,
+        context: Optional[str] = None,
+    ) -> CollectiveRecord:
+        record = CollectiveRecord(seq, op, group_id, shape, dtype, nbytes,
+                                  extra, context)
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(record)
+        return record
+
+    def mark_started(self, record: CollectiveRecord) -> None:
+        record.t_start = time.perf_counter()
+        record.state = STARTED
+
+    def mark_completed(self, record: CollectiveRecord,
+                       error: Optional[BaseException] = None) -> None:
+        record.t_end = time.perf_counter()
+        if error is None:
+            record.state = COMPLETED
+        else:
+            record.state = FAILED
+            record.error = f"{type(error).__name__}: {error}"
+
+    # -- introspection --------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def records(self, group_id=None) -> List[CollectiveRecord]:
+        with self._lock:
+            records = list(self._ring)
+        if group_id is not None:
+            records = [r for r in records if r.group_id == group_id]
+        return records
+
+    def tail(self, n: int = 10, group_id=None) -> List[dict]:
+        return [r.as_dict() for r in self.records(group_id)[-n:]]
+
+    def last_completed(self, group_id=None) -> Optional[CollectiveRecord]:
+        for record in reversed(self.records(group_id)):
+            if record.state == COMPLETED:
+                return record
+        return None
+
+    def last_scheduled(self, group_id=None) -> Optional[CollectiveRecord]:
+        records = self.records(group_id)
+        return records[-1] if records else None
+
+    def inflight(self, group_id=None) -> Optional[CollectiveRecord]:
+        """The oldest scheduled-or-started record not yet finished."""
+        for record in self.records(group_id):
+            if record.state in (SCHEDULED, STARTED):
+                return record
+        return None
+
+    def group_snapshot(self, group_id, tail: int = 8) -> dict:
+        """The cross-rank exchange unit: this rank's view of one group."""
+        last_completed = self.last_completed(group_id)
+        last_scheduled = self.last_scheduled(group_id)
+        inflight = self.inflight(group_id)
+        return {
+            "rank": self.rank,
+            "status": "running",
+            "last_completed": last_completed.as_dict() if last_completed else None,
+            "last_scheduled": last_scheduled.as_dict() if last_scheduled else None,
+            "inflight": inflight.as_dict() if inflight else None,
+            "tail": self.tail(tail, group_id),
+        }
+
+    def dump(self) -> dict:
+        return {
+            "rank": self.rank,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "records": [r.as_dict() for r in self.records()],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.dropped = 0
+
+
+# ----------------------------------------------------------------------
+# per-rank registry
+# ----------------------------------------------------------------------
+_registry_lock = threading.Lock()
+_recorders: Dict[int, FlightRecorder] = {}
+
+
+def recorder_for(rank: int, capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    """This rank's flight recorder (created on first use)."""
+    with _registry_lock:
+        recorder = _recorders.get(rank)
+        if recorder is None:
+            recorder = FlightRecorder(rank, capacity)
+            _recorders[rank] = recorder
+        return recorder
+
+
+def all_recorders() -> Dict[int, FlightRecorder]:
+    with _registry_lock:
+        return dict(_recorders)
+
+
+def clear_recorders() -> None:
+    with _registry_lock:
+        _recorders.clear()
+
+
+def dump_all() -> List[dict]:
+    """Every rank's dump, sorted by rank (JSON-serializable)."""
+    return [rec.dump() for _, rec in sorted(all_recorders().items())]
+
+
+def dump_json(path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialize every recorder; optionally write the JSON to ``path``."""
+    text = json.dumps({"flight_recorders": dump_all()}, indent=indent)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def _fmt_record(record: dict) -> str:
+    shape = tuple(record["shape"]) if record.get("shape") else "-"
+    age = ""
+    if record.get("t_end") is not None and record.get("t_sched") is not None:
+        age = f" {1e3 * (record['t_end'] - record['t_sched']):.2f}ms"
+    context = f" [{record['context']}]" if record.get("context") else ""
+    error = f" !{record['error']}" if record.get("error") else ""
+    return (
+        f"pg{record['group_id']} #{record['seq']:<4} {record['op']:<14} "
+        f"{record['state']:<9} shape={shape} dtype={record.get('dtype') or '-'} "
+        f"nbytes={record.get('nbytes') if record.get('nbytes') is not None else '-'}"
+        f"{age}{context}{error}"
+    )
+
+
+def render_cross_rank(dumps: List[dict], last_n: int = 10) -> str:
+    """Merge per-rank dumps into a "last N collectives per rank" table.
+
+    ``dumps`` is a list of :meth:`FlightRecorder.dump` dicts (e.g. from
+    :func:`dump_all`, or gathered from the store by the watchdog).
+    """
+    lines = ["collective flight recorder — last %d per rank" % last_n]
+    for dump in sorted(dumps, key=lambda d: d["rank"]):
+        records = dump.get("records", [])
+        dropped = dump.get("dropped", 0)
+        suffix = f" ({dropped} older dropped)" if dropped else ""
+        lines.append(f"rank {dump['rank']}: {len(records)} recorded{suffix}")
+        for record in records[-last_n:]:
+            lines.append("  " + _fmt_record(record))
+        if not records:
+            lines.append("  (no collectives recorded)")
+    return "\n".join(lines)

@@ -55,6 +55,26 @@ def enable_logging(level: str = "debug") -> logging.Logger:
     return logger
 
 
+_warned_keys: set = set()
+_warned_lock = __import__("threading").Lock()
+
+
+def warn_once(key: str, message: str, *args, level: int = logging.WARNING) -> bool:
+    """Log ``message`` at most once per ``key`` for the process lifetime.
+
+    Used by periodic machinery (the debug watchdog's poll loop, shutdown
+    paths that several owners may drive) where a recurring condition
+    should surface exactly once instead of flooding stderr.  Returns
+    True if the message was emitted.
+    """
+    with _warned_lock:
+        if key in _warned_keys:
+            return False
+        _warned_keys.add(key)
+    logger.log(level, message, *args)
+    return True
+
+
 _env_level = os.environ.get("REPRO_LOG")
 if _env_level:
     enable_logging(_env_level)

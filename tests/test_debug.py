@@ -1,0 +1,376 @@
+"""Debug layer: levels, flight recorder, desync diagnosis, watchdog,
+monitored barrier, and the shutdown-unwedging regression."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CollectiveTimeoutError,
+    get_context,
+    monitored_barrier,
+)
+from repro.comm.process_group import Work
+from repro.core import DistributedDataParallel
+from repro.core.bucket import compute_bucket_assignment
+from repro.core.reducer import Reducer, ReducerError
+from repro.debug import (
+    FlightRecorder,
+    all_recorders,
+    build_desync_report,
+    clear_recorders,
+    collective_context,
+    current_collective_context,
+    describe_fingerprint,
+    diff_fingerprints,
+    dump_all,
+    dump_json,
+    fingerprint,
+    get_debug_level,
+    render_cross_rank,
+    render_mismatch,
+    set_debug_level,
+)
+from repro.nn.module import Parameter
+from repro.utils import manual_seed
+
+from conftest import run_world, small_classifier
+
+
+@pytest.fixture
+def debug_level():
+    """Set the debug level for one test; restore OFF-state afterwards."""
+    previous = get_debug_level()
+    clear_recorders()
+    yield set_debug_level
+    set_debug_level(previous)
+    clear_recorders()
+
+
+class TestLevels:
+    def test_parse_names_and_ints(self, debug_level):
+        assert debug_level("info") == 1
+        assert debug_level("DETAIL") == 2
+        assert debug_level(0) == 0
+        assert debug_level("on") == 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_DEBUG"):
+            set_debug_level("verbose")
+        with pytest.raises(ValueError):
+            set_debug_level(7)
+
+
+class TestFlightRecorder:
+    def test_ring_drops_oldest(self):
+        recorder = FlightRecorder(rank=0, capacity=4)
+        for seq in range(6):
+            recorder.record_scheduled(seq, "allreduce", group_id=0)
+        assert recorder.depth() == 4
+        assert recorder.dropped == 2
+        assert [r.seq for r in recorder.records()] == [2, 3, 4, 5]
+
+    def test_lifecycle_and_snapshot(self):
+        recorder = FlightRecorder(rank=1)
+        first = recorder.record_scheduled(
+            0, "allreduce", 0, shape=(4,), dtype="float64", nbytes=32
+        )
+        recorder.mark_started(first)
+        recorder.mark_completed(first)
+        second = recorder.record_scheduled(1, "broadcast", 0, context="bucket 2")
+        recorder.mark_started(second)
+
+        snap = recorder.group_snapshot(0)
+        assert snap["last_completed"]["seq"] == 0
+        assert snap["last_scheduled"]["seq"] == 1
+        assert snap["inflight"]["op"] == "broadcast"
+        assert snap["inflight"]["context"] == "bucket 2"
+        assert len(snap["tail"]) == 2
+
+        recorder.mark_completed(second, error=RuntimeError("boom"))
+        assert recorder.inflight(0) is None
+        assert recorder.records()[-1].state == "failed"
+        assert "boom" in recorder.records()[-1].error
+
+    def test_records_filter_by_group(self):
+        recorder = FlightRecorder(rank=0)
+        recorder.record_scheduled(0, "allreduce", group_id=1)
+        recorder.record_scheduled(0, "allreduce", group_id=2)
+        assert len(recorder.records(group_id=1)) == 1
+        assert recorder.group_snapshot(2)["last_scheduled"]["group_id"] == 2
+
+    def test_context_label(self):
+        assert current_collective_context() is None
+        with collective_context("bucket 3"):
+            assert current_collective_context() == "bucket 3"
+        assert current_collective_context() is None
+
+    def test_dump_json_and_cross_rank_table(self, tmp_path, debug_level):
+        debug_level("INFO")
+
+        def body(rank):
+            pg = get_context().default_group
+            with collective_context("step 0"):
+                pg.allreduce(np.ones(3))
+            pg.broadcast(np.zeros(2), src=0)
+            return pg.flight_recorder.depth()
+
+        assert run_world(2, body, backend="gloo") == [2, 2]
+
+        path = tmp_path / "recorders.json"
+        parsed = json.loads(dump_json(str(path)))
+        assert path.exists()
+        dumps = parsed["flight_recorders"]
+        assert {d["rank"] for d in dumps} == {0, 1}
+        records = dumps[0]["records"]
+        assert [r["op"] for r in records] == ["allreduce", "broadcast"]
+        assert records[0]["state"] == "completed"
+        assert records[0]["context"] == "step 0"
+        assert records[0]["shape"] == [3]
+
+        table = render_cross_rank(dump_all())
+        assert "rank 0" in table and "rank 1" in table
+        assert "allreduce" in table and "[step 0]" in table
+
+    def test_off_records_nothing(self, debug_level):
+        debug_level("OFF")
+
+        def body(rank):
+            pg = get_context().default_group
+            pg.allreduce(np.ones(3))
+            return pg.flight_recorder is None and pg._watchdog is None
+
+        assert run_world(2, body, backend="gloo") == [True, True]
+        assert all_recorders() == {}
+
+
+class TestDesyncDiff:
+    def test_fingerprint_and_diff(self):
+        mine = fingerprint("allreduce", np.zeros(3), reduce_op="sum")
+        theirs = fingerprint("allreduce", np.zeros((2, 2)), reduce_op="max")
+        assert mine["shape"] == (3,) and mine["nbytes"] == 24
+        diffs = diff_fingerprints(mine, theirs)
+        assert "reduce_op: sum != max" in diffs
+        assert any(d.startswith("shape:") for d in diffs)
+        assert diff_fingerprints(mine, dict(mine)) == []
+
+    def test_describe_and_render(self):
+        mine = fingerprint("allreduce", np.zeros(3))
+        leader = fingerprint("broadcast", np.zeros(4), src=0)
+        assert describe_fingerprint(mine).startswith("allreduce(")
+        text = render_mismatch(
+            5, 7, 1, mine, 0, leader, peer_signatures={0: leader, 1: mine}
+        )
+        assert "collective #7 mismatch in group 5" in text
+        assert "rank 1 issued" in text and "leader rank 0 issued" in text
+        assert "op: allreduce != broadcast" in text
+        assert "<- differs" in text
+
+    def test_desync_report_classification(self):
+        stuck = {"op": "allreduce", "seq": 3, "group_id": 0, "shape": [4],
+                 "dtype": "float64", "nbytes": 32, "state": "started"}
+        states = {
+            0: {"rank": 0, "status": "running",
+                "last_completed": {"op": "allreduce", "seq": 2},
+                "last_scheduled": {"op": "allreduce", "seq": 3},
+                "inflight": None, "tail": []},
+            1: {"rank": 1, "status": "shutdown",
+                "last_completed": {"op": "allreduce", "seq": 1},
+                "last_scheduled": {"op": "allreduce", "seq": 1},
+                "inflight": None, "tail": []},
+            2: None,
+        }
+        report = build_desync_report(0, 0, stuck, 5.0, states)
+        assert report.missing == [2]
+        assert report.culprits == [1, 2]  # rank 1 behind, rank 2 silent
+        assert report.laggards == [2]     # never completed anything
+        text = report.render()
+        assert "allreduce#3@pg0" in text
+        assert "rank 2: <no response>" in text
+        assert "rank 1 (shutdown)" in text
+
+
+class TestWatchdog:
+    def test_watchdog_diagnoses_hang_within_timeout(self, debug_level):
+        debug_level("DETAIL")
+        timeout = 2.0
+
+        def body(rank):
+            pg = get_context().default_group
+            pg.allreduce(np.ones(4))
+            if rank == 0:
+                pg.allreduce(np.ones(4))  # rank 1 never joins
+
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError) as excinfo:
+            run_world(2, body, backend="gloo", timeout=timeout)
+        elapsed = time.perf_counter() - start
+        message = str(excinfo.value)
+        assert "cross-rank desync detected" in message
+        assert "allreduce#1" in message
+        assert "culprit rank(s) [1]" in message
+        assert "rank 1 (shutdown)" in message
+        assert elapsed < timeout, (
+            f"diagnosis took {elapsed:.2f}s; watchdog should beat the "
+            f"{timeout}s transport timeout"
+        )
+
+    def test_healthy_run_raises_no_alarm(self, debug_level):
+        debug_level("INFO")
+
+        def body(rank):
+            pg = get_context().default_group
+            for _ in range(3):
+                pg.allreduce(np.ones(2))
+            return pg._watchdog.status()
+
+        statuses = run_world(2, body, backend="gloo")
+        assert all(s["alarms_raised"] == 0 for s in statuses)
+        assert all(s["active"] for s in statuses)
+
+
+class TestMismatchDiagnosis:
+    def test_mismatch_shows_both_fingerprints_at_detail(self, debug_level):
+        debug_level("DETAIL")
+
+        def body(rank):
+            pg = get_context().default_group
+            pg.allreduce(np.zeros(4 if rank == 0 else 3))
+
+        with pytest.raises(RuntimeError, match="mismatch") as excinfo:
+            run_world(2, body, backend="gloo", timeout=3)
+        message = str(excinfo.value)
+        assert "shape: (3,) != (4,)" in message
+        assert "shape=(3,)" in message and "shape=(4,)" in message
+        assert "per-rank signatures" in message
+
+
+class TestWorkMeta:
+    def test_timeout_error_names_collective_meta(self):
+        work = Work("allreduce#3", {"op": "allreduce", "seq": 3, "bytes": 64})
+        with pytest.raises(CollectiveTimeoutError) as excinfo:
+            work.wait(timeout=0.01)
+        message = str(excinfo.value)
+        assert "allreduce#3" in message
+        assert "bytes=64" in message and "op=allreduce" in message
+        assert "seq=3" in message
+
+    def test_first_completion_wins(self):
+        work = Work("allreduce#0")
+        rich = CollectiveTimeoutError("rich desync report")
+        work._complete(rich)
+        work._complete(CollectiveTimeoutError("bare transport timeout"))
+        with pytest.raises(CollectiveTimeoutError, match="rich desync report"):
+            work.wait(timeout=0.1)
+
+
+class TestMonitoredBarrier:
+    def test_all_ranks_pass_repeatedly(self):
+        def body(rank):
+            monitored_barrier()
+            monitored_barrier()
+            return True
+
+        assert run_world(3, body, backend="gloo") == [True, True, True]
+
+    def test_missing_rank_named(self):
+        def body(rank):
+            if rank != 1:
+                monitored_barrier(timeout=0.5)
+
+        with pytest.raises(RuntimeError, match=r"rank\(s\) \[1\] never reached"):
+            run_world(3, body, backend="gloo", timeout=5.0)
+
+
+class TestShutdownUnwedging:
+    def test_shutdown_unblocks_stuck_worker(self):
+        """Regression: a worker blocked in a collective no peer will ever
+        join used to wedge shutdown until the full transport timeout."""
+
+        def body(rank):
+            pg = get_context().default_group
+            if rank == 0:
+                pg.allreduce(np.ones(2), async_op=True)  # rank 1 never joins
+                time.sleep(0.1)  # let the worker block inside the transport
+            start = time.perf_counter()
+            ok = pg.shutdown(grace=0.3)
+            return ok, time.perf_counter() - start
+
+        results = run_world(2, body, backend="gloo", timeout=30.0)
+        for ok, elapsed in results:
+            assert ok, "worker thread failed to join after hub close"
+            assert elapsed < 5.0, (
+                f"shutdown took {elapsed:.1f}s — blocked worker was not "
+                "unwedged (transport timeout is 30s)"
+            )
+
+    def test_shutdown_idempotent(self):
+        def body(rank):
+            pg = get_context().default_group
+            pg.allreduce(np.ones(2))
+            assert pg.shutdown()
+            assert pg.shutdown()  # second call must not raise or hang
+            return True
+
+        assert run_world(2, body, backend="gloo") == [True, True]
+
+
+class TestReducerDiagnostics:
+    def _make_reducer(self, group):
+        params = [Parameter(np.zeros(4)) for _ in range(3)]
+        specs = compute_bucket_assignment(params, bucket_cap_bytes=10**9)
+        return params, Reducer(
+            params, specs, group, param_names=["net.w", "net.b", "head.w"]
+        )
+
+    def test_unready_parameters_named(self):
+        class _Group:
+            size = 2
+            supports_cpu_tensors = True
+
+            def allreduce(self, tensor, op="sum", async_op=False):
+                return None
+
+        params, reducer = self._make_reducer(_Group())
+        reducer.prepare_for_backward([])
+        (params[0].sum() * 1.0).backward()  # only net.w gets a gradient
+        unready = reducer.unready_parameters()
+        assert [entry["name"] for entry in unready] == ["net.b", "head.w"]
+        with pytest.raises(ReducerError) as excinfo:
+            reducer.prepare_for_backward([])
+        message = str(excinfo.value)
+        assert "net.b (index 1" in message
+        assert "head.w (index 2" in message
+        assert "net.w" not in message.split("Unready parameter(s)")[1]
+
+
+class TestDDPConstructionChecks:
+    def test_structure_mismatch_named(self, debug_level):
+        debug_level("INFO")
+
+        def body(rank):
+            manual_seed(3)
+            from repro import nn
+
+            model = nn.Linear(6, 4) if rank == 0 else nn.Linear(6, 5)
+            DistributedDataParallel(model)
+
+        with pytest.raises(RuntimeError, match="replica structure mismatch") as excinfo:
+            run_world(2, body, backend="gloo", timeout=3)
+        message = str(excinfo.value)
+        assert "weight" in message
+        assert "(4, 6)" in message and "(5, 6)" in message
+
+    def test_consistent_model_passes_detail(self, debug_level):
+        debug_level("DETAIL")
+
+        def body(rank):
+            ddp = DistributedDataParallel(small_classifier())
+            stats = ddp.ddp_stats()["debug"]
+            return stats["level"], stats["flight_recorder_depth"] > 0
+
+        assert run_world(2, body, backend="gloo") == [
+            ("DETAIL", True), ("DETAIL", True)
+        ]

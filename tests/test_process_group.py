@@ -244,3 +244,25 @@ class TestSubgroupsAndRoundRobin:
 
         with pytest.raises(ValueError):
             RoundRobinProcessGroup([])
+
+    def test_round_robin_mismatch_names_inner_group(self):
+        """A mismatch under round-robin dispatch must be attributed to
+        the inner group that actually ran the collective — at *its*
+        local sequence number, not the round-robin call index."""
+        seen = {}
+
+        def body(rank):
+            rr = new_round_robin_group("gloo", num_groups=2)
+            if rank == 0:
+                seen["gids"] = [g._group_id for g in rr.groups]
+            rr.allreduce(np.zeros(2))  # call 0 -> groups[0], its seq 0
+            rr.allreduce(np.zeros(2))  # call 1 -> groups[1], its seq 0
+            # call 2 -> groups[0] again, its seq 1; shapes diverge
+            rr.allreduce(np.zeros(2 if rank == 0 else 5))
+
+        with pytest.raises(RuntimeError, match="mismatch") as excinfo:
+            run_world(2, body, timeout=3)
+        gid_first, gid_second = seen["gids"]
+        message = str(excinfo.value)
+        assert f"collective #1 mismatch in group {gid_first}" in message
+        assert f"group {gid_second}" not in message
