@@ -7,9 +7,14 @@ and a full threaded DDP training iteration.  Useful for tracking
 regressions in the library itself.
 """
 
+import os
+import sys
 import threading
+import time
 
 import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro import nn
 from repro.autograd import Tensor
@@ -102,3 +107,47 @@ def bench_micro_bucket_assignment(benchmark):
     params = list(resnet50_profile().params)
     buckets = benchmark(compute_bucket_assignment, params, 25 * 1024 * 1024)
     assert buckets
+
+
+def main(argv=None):
+    """Standalone mode: time each collective and emit BENCH_collectives_micro.json.
+
+    Shares the ``emit_json`` envelope with ``bench_hotpath.py`` so both
+    benches produce the same machine-readable result format without
+    requiring pytest-benchmark.
+    """
+    from common import emit_json, report
+
+    iters = 3 if (argv and "--smoke" in argv) else 7
+    rows = []
+    timings = {}
+    for name in ["ring", "tree", "halving_doubling", "hierarchical", "naive"]:
+        samples = []
+        for _ in range(iters):
+            start = time.perf_counter()
+            outputs = _run_collective(name)
+            samples.append(time.perf_counter() - start)
+            assert np.allclose(outputs[0], outputs[-1])
+        median = sorted(samples)[len(samples) // 2]
+        timings[name] = median
+        rows.append([name, median])
+    report(
+        "collectives_micro",
+        f"AllReduce microbench ({WORLD} ranks, {PAYLOAD} fp64 elems, median of {iters})",
+        ["algorithm", "seconds"],
+        rows,
+    )
+    emit_json(
+        "collectives_micro",
+        {
+            "world": WORLD,
+            "payload_elems": PAYLOAD,
+            "iters": iters,
+            "median_seconds": timings,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

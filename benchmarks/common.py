@@ -8,10 +8,14 @@ can cite the regenerated numbers.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: World sizes used by the scalability experiments (paper Fig. 9/10).
 SCALABILITY_WORLDS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
@@ -56,6 +60,30 @@ def save_text(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, payload: dict, path: str | None = None) -> str:
+    """Write one machine-readable result file ``BENCH_<name>.json``.
+
+    The shared emit format for every benchmark: results land at the repo
+    root (where trajectory tooling and the CI artifact step pick them
+    up) with a common envelope — bench name, unix timestamp, python and
+    platform strings — wrapped around the bench-specific ``payload``.
+    Returns the written path.
+    """
+    target = path or os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    document = {
+        "bench": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **payload,
+    }
+    with open(target, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {target}")
+    return target
 
 
 def env_int(name: str, default: int) -> int:

@@ -51,6 +51,20 @@ class AccumulateGrad:
         self.tensor = tensor
         self._post_hooks: List[Callable] = []
         self.seq_nr = -1  # leaves carry no execution order of their own
+        # Optional Tensor whose .data is a view of external storage (the
+        # reducer's flat bucket buffer).  When set, the first gradient of
+        # an iteration is written directly into that storage and the view
+        # becomes ``tensor.grad`` — PyTorch's gradient_as_bucket_view.
+        self.grad_view = None
+
+    def set_grad_view(self, view) -> None:
+        """Install (or clear, with None) a preallocated gradient view.
+
+        The view is adopted lazily: a parameter that never receives a
+        gradient keeps ``grad is None``, which the reducer relies on for
+        unused-parameter detection.
+        """
+        self.grad_view = view
 
     def register_post_hook(self, hook: Callable[["AccumulateGrad"], None]) -> Callable:
         """Register ``hook(node)``; returns a zero-argument remover."""
@@ -74,7 +88,16 @@ class AccumulateGrad:
                 f"{self.tensor.data.shape}"
             )
         if self.tensor.grad is None:
-            self.tensor.grad = Tensor(grad.astype(self.tensor.data.dtype, copy=True))
+            view = self.grad_view
+            if view is not None and view.data.shape == grad.shape:
+                # Zero-copy path: land the gradient directly in the
+                # external (bucket) storage and alias it as .grad.
+                np.copyto(view.data, grad)
+                self.tensor.grad = view
+            else:
+                self.tensor.grad = Tensor(
+                    grad.astype(self.tensor.data.dtype, copy=True)
+                )
         else:
             self.tensor.grad.data += grad
         for hook in list(self._post_hooks):

@@ -14,29 +14,131 @@ These are the real algorithms communication libraries use (paper §2.3):
 All functions operate **in place** on a flat numpy array and take the
 list of participating global ranks, so sub-groups and round-robin groups
 reuse them unchanged.  ``tag`` namespaces concurrent collectives.
+
+Hot-path design (paper Figs. 7/8 cost model):
+
+* **Contiguous segments** — buffers are partitioned with
+  :func:`partition_spans` into contiguous ``[lo, hi)`` windows, so every
+  send is a single ``memcpy``-like slice copy and every reduction is one
+  vectorized numpy ufunc call (``np.add(dst, src, out=dst)``).  No index
+  arrays, no fancy-indexing gathers, no Python element loops.
+* **Chunked transfers** — segments larger than ``chunk_bytes`` (default
+  :data:`DEFAULT_CHUNK_BYTES`, env ``REPRO_CHUNK_BYTES``) are split into
+  chunks that are deposited into the transport back-to-back.  Because
+  ``TransportHub.send`` never blocks, several chunks are in flight at
+  once and a receiver starts reducing chunk 0 while the sender is still
+  copying chunk *k* — the chunk-level pipelining of the S-SGD DAG model
+  (Shi et al.).  Chunk counts are derived purely from (segment size,
+  chunk size), which both endpoints know, so no extra coordination
+  messages are needed.
+
+Complexity notes use the paper's α–β model: α is per-message latency,
+β is per-byte transfer time, *n* is the buffer's byte size and *p* the
+number of participating ranks.
+
+Thread-safety: every function is written to run on one rank's thread
+while peer ranks run the same function concurrently; all shared state
+lives in the :class:`~repro.comm.transport.TransportHub` mailboxes.
+Per-rank buffers are only touched by their own rank.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+import os
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.transport import TransportHub
 
-ReduceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+ReduceFn = Callable[..., np.ndarray]
 
+#: Elementwise reduction operators.  All values are numpy ufuncs so the
+#: hot path can reduce **in place** (``fn(dst, src, out=dst)``) without
+#: allocating temporaries; called with two arguments they still return a
+#: new array, preserving the seed API.
 REDUCE_FUNCTIONS: dict[str, ReduceFn] = {
-    "sum": lambda a, b: a + b,
-    "prod": lambda a, b: a * b,
+    "sum": np.add,
+    "prod": np.multiply,
     "min": np.minimum,
     "max": np.maximum,
-    "bor": lambda a, b: a | b,
-    "band": lambda a, b: a & b,
+    "bor": np.bitwise_or,
+    "band": np.bitwise_and,
 }
 
 
+def _default_chunk_bytes() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_CHUNK_BYTES", 1 << 20)))
+    except ValueError:
+        return 1 << 20
+
+
+#: Default transfer-chunk size in bytes (1 MiB).  Tunable per call via
+#: ``chunk_bytes=`` or globally via :func:`set_chunk_bytes` / the
+#: ``REPRO_CHUNK_BYTES`` environment variable (read at import).
+DEFAULT_CHUNK_BYTES: int = _default_chunk_bytes()
+
+
+def set_chunk_bytes(nbytes: int) -> None:
+    """Set the global default transfer-chunk size (bytes, ≥1).
+
+    Thread-safety: a plain module-global write; call it from the main
+    thread before launching rank threads (the benchmarks' usage), not
+    concurrently with running collectives.
+    """
+    global DEFAULT_CHUNK_BYTES
+    if nbytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    DEFAULT_CHUNK_BYTES = int(nbytes)
+
+
+def get_chunk_bytes() -> int:
+    """Current global default transfer-chunk size in bytes."""
+    return DEFAULT_CHUNK_BYTES
+
+
+def partition_spans(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous ``(lo, hi)`` spans.
+
+    Sizing matches ``np.array_split``: the first ``total % parts`` spans
+    get one extra element, so layouts agree with code (and tests) that
+    used index-array splitting.  Empty spans are legal — they keep the
+    message protocol aligned when ``total < parts``.
+    """
+    base, extra = divmod(total, parts)
+    spans: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def _chunk_elems(chunk_bytes: int | None, dtype: np.dtype) -> int:
+    nbytes = DEFAULT_CHUNK_BYTES if chunk_bytes is None else int(chunk_bytes)
+    return max(1, nbytes // max(1, dtype.itemsize))
+
+
+def _chunk_spans(lo: int, hi: int, chunk_elems: int) -> List[Tuple[int, int]]:
+    """Split window ``[lo, hi)`` into chunks of at most ``chunk_elems``.
+
+    An empty window still yields exactly one (empty) chunk so sender and
+    receiver always exchange the same number of messages per window.
+    """
+    if hi <= lo:
+        return [(lo, lo)]
+    spans = []
+    while lo < hi:
+        mid = min(lo + chunk_elems, hi)
+        spans.append((lo, mid))
+        lo = mid
+    return spans
+
+
 def _reduce_fn(op: str) -> ReduceFn:
+    """Resolve a reduce-op name to its ufunc; raises on unknown names."""
     try:
         return REDUCE_FUNCTIONS[op]
     except KeyError:
@@ -51,8 +153,18 @@ def allreduce_naive(
     op: str = "sum",
     tag: object = "naive",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
 ) -> None:
-    """Every rank broadcasts its input to all peers; O(p) bandwidth."""
+    """Every rank broadcasts its input to all peers; reduce locally.
+
+    Cost per rank: (p−1)α + (p−1)·n·β — each rank moves the *entire*
+    buffer p−1 times, the O(p·n) strawman the paper contrasts with ring
+    AllReduce.  Kept unchunked on purpose: it is the seed-fidelity
+    baseline the benchmarks compare against.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group; the local buffer is only written by its own rank.
+    """
     fn = _reduce_fn(op)
     world = len(ranks)
     if world == 1:
@@ -61,12 +173,12 @@ def allreduce_naive(
     for offset, peer in enumerate(ranks):
         if offset != me:
             hub.send(ranks[me], peer, (tag, "naive", me), mine)
-    acc = mine
+    acc = mine.copy()
     for offset, peer in enumerate(ranks):
         if offset == me:
             continue
         incoming = hub.recv(ranks[me], peer, (tag, "naive", offset), timeout)
-        acc = fn(acc, incoming)
+        fn(acc, incoming, out=acc)
     buffer[...] = acc
 
 
@@ -78,33 +190,51 @@ def allreduce_ring(
     op: str = "sum",
     tag: object = "ring",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
 ) -> None:
-    """Reduce-scatter + allgather ring; each rank sends 2(p−1) chunks."""
+    """Reduce-scatter + allgather ring (NCCL's default algorithm).
+
+    Cost per rank: 2(p−1)α + 2·((p−1)/p)·n·β — bandwidth-optimal: each
+    byte crosses each link roughly twice regardless of p.  The buffer is
+    partitioned into p contiguous segments; every step each rank sends
+    one segment right and reduces the incoming segment from the left
+    with one vectorized ufunc call.  Segments larger than ``chunk_bytes``
+    are pipelined as several in-flight chunks (the reducing side starts
+    on chunk 0 while later chunks are still being deposited).
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     fn = _reduce_fn(op)
     world = len(ranks)
     if world == 1:
         return
     flat = buffer.reshape(-1)
-    chunks = np.array_split(np.arange(flat.size), world)
+    segments = partition_spans(flat.size, world)
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
     right = ranks[(me + 1) % world]
     left = ranks[(me - 1) % world]
 
     # Phase 1: reduce-scatter. After world-1 steps, rank r owns the fully
-    # reduced chunk (r+1) % world.
+    # reduced segment (r+1) % world.
     for step in range(world - 1):
-        send_idx = (me - step) % world
-        recv_idx = (me - step - 1) % world
-        hub.send(ranks[me], right, (tag, "rs", step), flat[chunks[send_idx]].copy())
-        incoming = hub.recv(ranks[me], left, (tag, "rs", step), timeout)
-        flat[chunks[recv_idx]] = fn(flat[chunks[recv_idx]], incoming)
+        send_lo, send_hi = segments[(me - step) % world]
+        recv_lo, recv_hi = segments[(me - step - 1) % world]
+        for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
+            hub.send(ranks[me], right, (tag, "rs", step, c), flat[lo:hi].copy())
+        for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
+            incoming = hub.recv(ranks[me], left, (tag, "rs", step, c), timeout)
+            fn(flat[lo:hi], incoming, out=flat[lo:hi])
 
-    # Phase 2: allgather. Circulate the reduced chunks.
+    # Phase 2: allgather. Circulate the reduced segments.
     for step in range(world - 1):
-        send_idx = (me - step + 1) % world
-        recv_idx = (me - step) % world
-        hub.send(ranks[me], right, (tag, "ag", step), flat[chunks[send_idx]].copy())
-        incoming = hub.recv(ranks[me], left, (tag, "ag", step), timeout)
-        flat[chunks[recv_idx]] = incoming
+        send_lo, send_hi = segments[(me - step + 1) % world]
+        recv_lo, recv_hi = segments[(me - step) % world]
+        for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
+            hub.send(ranks[me], right, (tag, "ag", step, c), flat[lo:hi].copy())
+        for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
+            incoming = hub.recv(ranks[me], left, (tag, "ag", step, c), timeout)
+            flat[lo:hi] = incoming
     buffer.reshape(-1)[...] = flat
 
 
@@ -113,16 +243,28 @@ def allreduce_tree(
     ranks: Sequence[int],
     me: int,
     buffer: np.ndarray,
-    op: str = "sum",
+    op: str = "tree",
     tag: object = "tree",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
 ) -> None:
-    """Binomial-tree reduce to rank 0 then binomial-tree broadcast."""
+    """Binomial-tree reduce to rank 0 then binomial-tree broadcast.
+
+    Cost per rank: ≈ 2·⌈log₂ p⌉·(α + n·β) — latency-optimal in message
+    rounds (the NCCL 2.4-style tree variant) but each round moves the
+    full buffer, so it loses to the ring on large n.  Whole-buffer
+    transfers are chunked so partners overlap reduction with transfer.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     fn = _reduce_fn(op)
     world = len(ranks)
     if world == 1:
         return
     flat = buffer.reshape(-1)
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
+    whole = _chunk_spans(0, flat.size, celems)
 
     # Reduce phase: at round k, ranks with the k-th bit set send to the
     # partner with that bit cleared, then drop out.
@@ -130,12 +272,14 @@ def allreduce_tree(
     while mask < world:
         if me & mask:
             partner = me - mask
-            hub.send(ranks[me], ranks[partner], (tag, "red", mask), flat.copy())
+            for c, (lo, hi) in enumerate(whole):
+                hub.send(ranks[me], ranks[partner], (tag, "red", mask, c), flat[lo:hi].copy())
             break
         partner = me + mask
         if partner < world:
-            incoming = hub.recv(ranks[me], ranks[partner], (tag, "red", mask), timeout)
-            flat[...] = fn(flat, incoming)
+            for c, (lo, hi) in enumerate(whole):
+                incoming = hub.recv(ranks[me], ranks[partner], (tag, "red", mask, c), timeout)
+                fn(flat[lo:hi], incoming, out=flat[lo:hi])
         mask <<= 1
 
     # Broadcast phase: mirror image, highest mask first.
@@ -146,12 +290,14 @@ def allreduce_tree(
     while mask >= 1:
         if me & (mask - 1) == 0:  # still active at this round
             if me & mask:
-                incoming = hub.recv(ranks[me], ranks[me - mask], (tag, "bc", mask), timeout)
-                flat[...] = incoming
+                for c, (lo, hi) in enumerate(whole):
+                    incoming = hub.recv(ranks[me], ranks[me - mask], (tag, "bc", mask, c), timeout)
+                    flat[lo:hi] = incoming
             else:
                 partner = me + mask
                 if partner < world:
-                    hub.send(ranks[me], ranks[partner], (tag, "bc", mask), flat.copy())
+                    for c, (lo, hi) in enumerate(whole):
+                        hub.send(ranks[me], ranks[partner], (tag, "bc", mask, c), flat[lo:hi].copy())
         mask >>= 1
     buffer.reshape(-1)[...] = flat
 
@@ -164,20 +310,29 @@ def allreduce_halving_doubling(
     op: str = "sum",
     tag: object = "hd",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
 ) -> None:
     """Recursive vector-halving distance-doubling (Gloo's large-tensor path).
 
-    Requires a power-of-two participant count; other sizes delegate to the
-    ring, which is what Gloo's bcube fallback effectively does.
+    Cost per rank: 2·log₂ p·α + 2·((p−1)/p)·n·β — the ring's bandwidth
+    optimality at tree-like log₂ p latency.  Each round exchanges a
+    contiguous half-window with the partner at distance 2ᵏ; windows are
+    chunked for in-flight pipelining.  Requires a power-of-two
+    participant count; other sizes delegate to the ring, which is what
+    Gloo's bcube fallback effectively does.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
     """
     world = len(ranks)
     if world & (world - 1):
-        allreduce_ring(hub, ranks, me, buffer, op, (tag, "ringfb"), timeout)
+        allreduce_ring(hub, ranks, me, buffer, op, (tag, "ringfb"), timeout, chunk_bytes)
         return
     fn = _reduce_fn(op)
     if world == 1:
         return
     flat = buffer.reshape(-1)
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
     # Track the index window this rank is responsible for.
     lo, hi = 0, flat.size
     distance = 1
@@ -190,9 +345,11 @@ def allreduce_halving_doubling(
             send_lo, send_hi, keep_lo, keep_hi = mid, hi, lo, mid
         else:
             send_lo, send_hi, keep_lo, keep_hi = lo, mid, mid, hi
-        hub.send(ranks[me], ranks[partner], (tag, "rs", distance), flat[send_lo:send_hi].copy())
-        incoming = hub.recv(ranks[me], ranks[partner], (tag, "rs", distance), timeout)
-        flat[keep_lo:keep_hi] = fn(flat[keep_lo:keep_hi], incoming)
+        for c, (clo, chi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
+            hub.send(ranks[me], ranks[partner], (tag, "rs", distance, c), flat[clo:chi].copy())
+        for c, (clo, chi) in enumerate(_chunk_spans(keep_lo, keep_hi, celems)):
+            incoming = hub.recv(ranks[me], ranks[partner], (tag, "rs", distance, c), timeout)
+            fn(flat[clo:chi], incoming, out=flat[clo:chi])
         spans.append((lo, hi))
         lo, hi = keep_lo, keep_hi
         distance <<= 1
@@ -201,14 +358,14 @@ def allreduce_halving_doubling(
     while distance >= 1:
         partner = me ^ distance
         prev_lo, prev_hi = spans.pop()
-        hub.send(ranks[me], ranks[partner], (tag, "ag", distance), flat[lo:hi].copy())
-        incoming = hub.recv(ranks[me], ranks[partner], (tag, "ag", distance), timeout)
+        for c, (clo, chi) in enumerate(_chunk_spans(lo, hi, celems)):
+            hub.send(ranks[me], ranks[partner], (tag, "ag", distance, c), flat[clo:chi].copy())
         # Partners shared the same parent window [prev_lo, prev_hi); the
         # lower rank kept the lower half, so each fills in the other half.
-        if me < partner:
-            flat[hi:prev_hi] = incoming
-        else:
-            flat[prev_lo:lo] = incoming
+        fill_lo, fill_hi = (hi, prev_hi) if me < partner else (prev_lo, lo)
+        for c, (clo, chi) in enumerate(_chunk_spans(fill_lo, fill_hi, celems)):
+            incoming = hub.recv(ranks[me], ranks[partner], (tag, "ag", distance, c), timeout)
+            flat[clo:chi] = incoming
         lo, hi = prev_lo, prev_hi
         distance >>= 1
     buffer.reshape(-1)[...] = flat
@@ -222,12 +379,23 @@ def broadcast(
     root: int = 0,
     tag: object = "bcast",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
 ) -> None:
-    """Binomial-tree broadcast from group-rank ``root`` (in place)."""
+    """Binomial-tree broadcast from group-rank ``root`` (in place).
+
+    Cost per rank: ≤ ⌈log₂ p⌉·(α + n·β); the root sends ⌈log₂ p⌉ copies,
+    interior ranks forward once per subtree.  Transfers are chunked so
+    a forwarding rank relays chunk 0 before chunk *k* arrives.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     world = len(ranks)
     if world == 1:
         return
     flat = buffer.reshape(-1)
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
+    whole = _chunk_spans(0, flat.size, celems)
     # Re-index so the root is virtual rank 0.
     vrank = (me - root) % world
     top = 1
@@ -238,13 +406,15 @@ def broadcast(
         if vrank & (mask - 1) == 0:
             if vrank & mask:
                 src = ranks[(vrank - mask + root) % world]
-                incoming = hub.recv(ranks[me], src, (tag, "bc", mask), timeout)
-                flat[...] = incoming
+                for c, (lo, hi) in enumerate(whole):
+                    incoming = hub.recv(ranks[me], src, (tag, "bc", mask, c), timeout)
+                    flat[lo:hi] = incoming
             else:
                 vpartner = vrank + mask
                 if vpartner < world:
                     dst = ranks[(vpartner + root) % world]
-                    hub.send(ranks[me], dst, (tag, "bc", mask), flat.copy())
+                    for c, (lo, hi) in enumerate(whole):
+                        hub.send(ranks[me], dst, (tag, "bc", mask, c), flat[lo:hi].copy())
         mask >>= 1
     buffer.reshape(-1)[...] = flat
 
@@ -257,7 +427,15 @@ def allgather(
     tag: object = "allgather",
     timeout: float | None = None,
 ) -> np.ndarray:
-    """Ring allgather; returns an array of shape (world, buffer.size)."""
+    """Ring allgather; returns an array of shape (world, buffer.size).
+
+    Cost per rank: (p−1)α + (p−1)·n·β — every rank's full buffer visits
+    every other rank once around the ring.  Rows are contiguous, so each
+    step is one slice copy.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     world = len(ranks)
     flat = buffer.reshape(-1)
     out = np.empty((world, flat.size), dtype=flat.dtype)
@@ -283,23 +461,31 @@ def reduce_scatter(
     tag: object = "rscatter",
     timeout: float | None = None,
 ) -> np.ndarray:
-    """Ring reduce-scatter; returns this rank's fully reduced chunk."""
+    """Ring reduce-scatter; returns this rank's fully reduced chunk.
+
+    Cost per rank: (p−1)α + ((p−1)/p)·n·β — phase 1 of the ring
+    AllReduce.  Segments are contiguous spans reduced with in-place
+    ufunc calls.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     fn = _reduce_fn(op)
     world = len(ranks)
     flat = buffer.reshape(-1).copy()
-    chunks = np.array_split(np.arange(flat.size), world)
+    segments = partition_spans(flat.size, world)
     if world == 1:
         return flat
     right = ranks[(me + 1) % world]
     left = ranks[(me - 1) % world]
     for step in range(world - 1):
-        send_idx = (me - step) % world
-        recv_idx = (me - step - 1) % world
-        hub.send(ranks[me], right, (tag, "rs", step), flat[chunks[send_idx]].copy())
+        send_lo, send_hi = segments[(me - step) % world]
+        recv_lo, recv_hi = segments[(me - step - 1) % world]
+        hub.send(ranks[me], right, (tag, "rs", step), flat[send_lo:send_hi].copy())
         incoming = hub.recv(ranks[me], left, (tag, "rs", step), timeout)
-        flat[chunks[recv_idx]] = fn(flat[chunks[recv_idx]], incoming)
-    owned = (me + 1) % world
-    return flat[chunks[owned]]
+        fn(flat[recv_lo:recv_hi], incoming, out=flat[recv_lo:recv_hi])
+    owned_lo, owned_hi = segments[(me + 1) % world]
+    return flat[owned_lo:owned_hi]
 
 
 def reduce(
@@ -313,7 +499,14 @@ def reduce(
     timeout: float | None = None,
 ) -> None:
     """Binomial-tree reduce to group-rank ``root`` (in place at root;
-    other ranks' buffers are left with partial sums, as in MPI)."""
+    other ranks' buffers are left with partial sums, as in MPI).
+
+    Cost per rank: ≤ ⌈log₂ p⌉·(α + n·β); each rank sends its running
+    partial sum exactly once, reductions are in-place ufunc calls.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     fn = _reduce_fn(op)
     world = len(ranks)
     if world == 1:
@@ -330,7 +523,7 @@ def reduce(
         if vpartner < world:
             src = ranks[(vpartner + root) % world]
             incoming = hub.recv(ranks[me], src, (tag, "red", mask), timeout)
-            flat[...] = fn(flat, incoming)
+            fn(flat, incoming, out=flat)
         mask <<= 1
 
 
@@ -344,7 +537,15 @@ def gather(
     timeout: float | None = None,
 ):
     """Gather every rank's buffer at ``root``; returns (world, n) array
-    at the root and ``None`` elsewhere."""
+    at the root and ``None`` elsewhere.
+
+    Cost: non-roots pay α + n·β once; the root receives p−1 buffers
+    ((p−1)α + (p−1)·n·β), the incast hot spot of the parameter-server
+    pattern (§2.3).
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     world = len(ranks)
     flat = buffer.reshape(-1)
     if me != root:
@@ -368,7 +569,14 @@ def scatter(
     timeout: float | None = None,
 ) -> np.ndarray:
     """Scatter ``chunks`` (root's list of per-rank arrays) to the group;
-    returns this rank's chunk."""
+    returns this rank's chunk.
+
+    Cost: the root sends p−1 messages ((p−1)·(α + (n/p)·β)); every other
+    rank pays one receive.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     world = len(ranks)
     if me == root:
         if chunks is None or len(chunks) != world:
@@ -387,7 +595,13 @@ def barrier(
     tag: object = "barrier",
     timeout: float | None = None,
 ) -> None:
-    """Synchronize all ranks (a 1-element tree allreduce)."""
+    """Synchronize all ranks (a 1-element tree allreduce).
+
+    Cost per rank: ≈ 2·⌈log₂ p⌉·α (the payload is 8 bytes).
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
     token = np.zeros(1, dtype=np.int64)
     allreduce_tree(hub, ranks, me, token, "sum", (tag, "tok"), timeout)
 
@@ -400,6 +614,7 @@ def allreduce_hierarchical(
     op: str = "sum",
     tag: object = "hier",
     timeout: float | None = None,
+    chunk_bytes: int | None = None,
     group_size: int = 8,
 ) -> None:
     """Two-level AllReduce: intra-group reduce → leader ring → broadcast.
@@ -409,12 +624,18 @@ def allreduce_hierarchical(
     crosses the slow inter-server network.  Groups are consecutive runs
     of ``group_size`` ranks (matching ``ClusterSpec.placement``); a
     trailing smaller group is fine.
+
+    Cost per rank: ≈ ⌈log₂ g⌉·(α + n·β) intra-group + (for leaders)
+    2(ℓ−1)α + 2((ℓ−1)/ℓ)·n·β on the leader ring of ℓ = ⌈p/g⌉ members.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
     """
     world = len(ranks)
     if world == 1:
         return
     if world <= group_size:
-        allreduce_ring(hub, ranks, me, buffer, op, (tag, "flat"), timeout)
+        allreduce_ring(hub, ranks, me, buffer, op, (tag, "flat"), timeout, chunk_bytes)
         return
 
     group_index = me // group_size
@@ -429,11 +650,13 @@ def allreduce_hierarchical(
     # Phase 2: ring AllReduce among the leaders.
     if local_me == 0:
         leader_me = leader_locals.index(group_lo)
-        allreduce_ring(hub, leaders, leader_me, buffer, op, (tag, "inter"), timeout)
+        allreduce_ring(hub, leaders, leader_me, buffer, op, (tag, "inter"), timeout, chunk_bytes)
     # Phase 3: broadcast the result within the group.
-    broadcast(hub, group_members, local_me, buffer, 0, (tag, "bcast", group_index), timeout)
+    broadcast(hub, group_members, local_me, buffer, 0, (tag, "bcast", group_index), timeout, chunk_bytes)
 
 
+#: Registry the :class:`~repro.comm.process_group.ProcessGroup` backends
+#: resolve their default AllReduce algorithm from.
 ALLREDUCE_ALGORITHMS = {
     "naive": allreduce_naive,
     "ring": allreduce_ring,

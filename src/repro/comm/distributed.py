@@ -63,6 +63,7 @@ def _set_context(ctx: Optional[DistributedContext]) -> None:
 
 
 def get_context() -> DistributedContext:
+    """This thread's distributed context; raises outside a rank thread."""
     ctx = getattr(_thread_ctx, "ctx", None)
     if ctx is None:
         raise RuntimeError(
@@ -73,10 +74,12 @@ def get_context() -> DistributedContext:
 
 
 def get_rank() -> int:
+    """Calling thread's global rank (``torch.distributed.get_rank``)."""
     return get_context().rank
 
 
 def get_world_size() -> int:
+    """Total rank count of the calling thread's distributed context."""
     return get_context().world_size
 
 
@@ -244,12 +247,16 @@ def run_distributed(
     timeout: float = 30.0,
     store: Optional[Store] = None,
     hub: Optional[TransportHub] = None,
+    **group_kwargs,
 ) -> List:
     """Run ``fn`` on ``world_size`` rank threads; returns per-rank results.
 
     ``fn`` may accept zero arguments or a single ``rank`` argument.  When
     ``backend`` is given, a default process group is initialized before
-    ``fn`` runs.  The first rank exception is re-raised in the caller.
+    ``fn`` runs; extra keyword arguments (e.g. ``num_streams=2``,
+    ``chunk_bytes=65536``, ``algorithm="tree"``) are forwarded to the
+    backend constructor.  The first rank exception is re-raised in the
+    caller.
     """
     store = store or Store(timeout=timeout)
     hub = hub or TransportHub(world_size, default_timeout=timeout)
@@ -264,7 +271,7 @@ def run_distributed(
         set_current_rank(rank)
         try:
             if backend is not None:
-                init_process_group(backend, timeout=timeout)
+                init_process_group(backend, timeout=timeout, **group_kwargs)
             results[rank] = fn(rank) if wants_rank else fn()
         except BaseException as exc:  # noqa: BLE001 - propagate to caller
             errors.append((rank, exc))

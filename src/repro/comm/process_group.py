@@ -6,9 +6,14 @@ DDP wraps NCCL, Gloo and MPI behind one ``ProcessGroup`` API (paper
 * **Rendezvous construction** — all instances construct together; the
   first arrival blocks until the last joins.
 * **Asynchronous execution** — every collective may return a ``Work``
-  handle; each rank owns a dedicated communication worker thread (the
-  analog of NCCL's dedicated CUDA streams), so communication genuinely
-  proceeds concurrently with the caller's computation.
+  handle; each rank owns one or more dedicated communication worker
+  threads (the analog of NCCL's dedicated CUDA streams), so
+  communication genuinely proceeds concurrently with the caller's
+  computation.  With ``num_streams > 1``, collectives are assigned to
+  streams deterministically by sequence number (``seq % num_streams``),
+  which keeps the assignment identical on every rank — a collective
+  always meets its peers on the same stream, so multiple buckets can be
+  genuinely in flight at once without cross-rank mismatches.
 * **Ordered collectives** — operations on all instances must match in
   type/shape/dtype and follow the same order.  A built-in signature
   checker turns the real-world symptom (silent corruption or a hang)
@@ -92,6 +97,7 @@ class Work:
         self._done.set()
 
     def is_completed(self) -> bool:
+        """Non-blocking poll: has the collective finished (ok or not)?"""
         return self._done.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> None:
@@ -155,6 +161,8 @@ class ProcessGroup:
         timeout: float = 30.0,
         algorithm: Optional[str] = None,
         check_consistency: bool = True,
+        num_streams: int = 1,
+        chunk_bytes: Optional[int] = None,
     ):
         self.store = store
         self.hub = hub
@@ -170,15 +178,24 @@ class ProcessGroup:
         if self.algorithm not in algorithms.ALLREDUCE_ALGORITHMS:
             raise ValueError(f"unknown allreduce algorithm {self.algorithm!r}")
         self.check_consistency = check_consistency
+        if num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        #: Number of communication worker threads ("streams"); collectives
+        #: are assigned by ``seq % num_streams`` identically on all ranks.
+        self.num_streams = int(num_streams)
+        #: Default transfer-chunk size forwarded to the AllReduce
+        #: algorithm (None → the module default in ``algorithms``).
+        self.chunk_bytes = chunk_bytes
         self._seq = 0
         self._group_id = group_id if group_id is not None else 0
         # Byte counter for tests and reporting.
         self.bytes_communicated = 0
         self._closed = False
-        # (work, started-at) while the worker executes a collective; the
-        # hang watchdog polls this.  Set/cleared by the worker thread.
-        self._inflight = None
-        #: Set when shutdown could not join the communication worker.
+        # Per-stream (work, started-at) while a worker executes a
+        # collective; the hang watchdog polls the oldest via the
+        # ``_inflight`` property.  Set/cleared by each worker thread.
+        self._inflight_by_stream: dict = {}
+        #: Set when shutdown could not join a communication worker.
         self.worker_stuck = False
 
         # Rendezvous: block until every member has constructed (paper §3.3).
@@ -198,27 +215,47 @@ class ProcessGroup:
 
             self._watchdog = HangWatchdog(self)
 
-        # The dedicated communication worker ("stream").
-        self._queue: "queue.Queue" = queue.Queue()
-        self._worker = threading.Thread(
-            target=self._worker_loop,
-            name=f"pg{self._group_id}-rank{rank}-comm",
-            daemon=True,
-        )
-        self._worker.start()
+        # The dedicated communication workers ("streams").
+        self._queues: List["queue.Queue"] = [
+            queue.Queue() for _ in range(self.num_streams)
+        ]
+        self._workers: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(stream,),
+                name=f"pg{self._group_id}-rank{rank}-comm{stream}",
+                daemon=True,
+            )
+            for stream in range(self.num_streams)
+        ]
+        for worker in self._workers:
+            worker.start()
         if self._watchdog is not None:
             self._watchdog.start()
 
     # ------------------------------------------------------------------
     # worker machinery
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    @property
+    def _inflight(self):
+        """Oldest in-flight (work, started-at) pair, or None.
+
+        The hang watchdog polls this; with multiple streams the longest-
+        running collective is the one worth reporting.
+        """
+        entries = list(self._inflight_by_stream.values())
+        live = [e for e in entries if e is not None]
+        if not live:
+            return None
+        return min(live, key=lambda pair: pair[1])
+
+    def _worker_loop(self, stream: int) -> None:
         # Worker threads carry the owning rank's identity so telemetry
         # spans and log records from inside collectives attribute
         # correctly (the rank contextvar does not cross thread spawns).
         set_current_rank(self.global_rank)
         while True:
-            item = self._queue.get()
+            item = self._queues[stream].get()
             if item is None:
                 return
             fn, work = item
@@ -226,14 +263,14 @@ class ProcessGroup:
             record = work._debug_record
             if record is not None:
                 self.flight_recorder.mark_started(record)
-            self._inflight = (work, time.perf_counter())
+            self._inflight_by_stream[stream] = (work, time.perf_counter())
             work._t_start = time.perf_counter()
             try:
                 fn()
             except BaseException as exc:  # propagate through the Work handle
                 error = exc
             work._t_end = time.perf_counter()
-            self._inflight = None
+            self._inflight_by_stream[stream] = None
             if record is not None:
                 self.flight_recorder.mark_completed(record, error)
             if TRACER.enabled:
@@ -259,9 +296,16 @@ class ProcessGroup:
         meta: Optional[dict] = None,
         fingerprint: Optional[dict] = None,
     ) -> Optional[Work]:
+        """Queue ``fn`` on the deterministic stream for this collective.
+
+        The stream index derives from the collective's sequence number,
+        so every rank routes collective ``seq`` to the same worker and
+        peers always meet on a matching stream.
+        """
         if self._closed:
             raise CollectiveError("process group has been shut down")
         work = Work(description, meta)
+        stream = (meta or {}).get("seq", 0) % self.num_streams
         if self.flight_recorder is not None and DEBUG.level:
             fp = fingerprint or {}
             work._debug_record = self.flight_recorder.record_scheduled(
@@ -275,23 +319,23 @@ class ProcessGroup:
                        if k not in ("op", "shape", "dtype", "nbytes")},
                 context=current_collective_context(),
             )
-        self._queue.put((fn, work))
+        self._queues[stream].put((fn, work))
         if async_op:
             return work
         work.wait(self.timeout + 5.0)
         return None
 
     def shutdown(self, grace: float = 2.0) -> bool:
-        """Stop the worker thread (idempotent); returns True if it joined.
+        """Stop the worker threads (idempotent); returns True if all joined.
 
         A worker blocked in a transport ``recv`` (its peer diverged or
         died) cannot see the queue sentinel, so after ``grace`` seconds
         the hub is closed to wake it with ``TransportClosedError``
-        instead of stranding the thread.  A worker that still fails to
-        join is reported via ``worker_stuck`` and a log line.
+        instead of stranding the thread.  Workers that still fail to
+        join are reported via ``worker_stuck`` and a log line.
         """
         if self._closed:
-            return not self._worker.is_alive()
+            return not any(worker.is_alive() for worker in self._workers)
         self._closed = True
         if self._watchdog is not None:
             # Leave a parting snapshot so a peer's watchdog can still
@@ -301,22 +345,27 @@ class ProcessGroup:
             except Exception:
                 logger.exception("failed to publish parting debug state")
             self._watchdog.stop()
-        self._queue.put(None)
-        self._worker.join(timeout=min(grace, self.timeout))
-        if self._worker.is_alive():
+        for stream_queue in self._queues:
+            stream_queue.put(None)
+        deadline = min(grace, self.timeout)
+        for worker in self._workers:
+            worker.join(timeout=deadline)
+        if any(worker.is_alive() for worker in self._workers):
             logger.warning(
-                "comm worker of group %s on rank %d did not drain within "
-                "%.1fs; closing the transport hub to unblock it",
-                self._group_id, self.global_rank, min(grace, self.timeout),
+                "comm worker(s) of group %s on rank %d did not drain within "
+                "%.1fs; closing the transport hub to unblock them",
+                self._group_id, self.global_rank, deadline,
             )
             self.hub.close()
-            self._worker.join(timeout=min(grace, self.timeout))
-        self.worker_stuck = self._worker.is_alive()
+            for worker in self._workers:
+                worker.join(timeout=deadline)
+        stranded = [worker.name for worker in self._workers if worker.is_alive()]
+        self.worker_stuck = bool(stranded)
         if self.worker_stuck:
             logger.error(
-                "comm worker of group %s on rank %d failed to join even "
-                "after the transport hub was closed (thread %s stranded)",
-                self._group_id, self.global_rank, self._worker.name,
+                "comm worker(s) of group %s on rank %d failed to join even "
+                "after the transport hub was closed (thread(s) %s stranded)",
+                self._group_id, self.global_rank, ", ".join(stranded),
             )
         return not self.worker_stuck
 
@@ -413,6 +462,7 @@ class ProcessGroup:
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
+        """Number of ranks in this group (the p of the α–β model)."""
         return len(self.ranks)
 
     def allreduce(self, tensor, op: str = ReduceOp.SUM, async_op: bool = False):
@@ -430,7 +480,8 @@ class ProcessGroup:
             self._check_signature(seq, signature)
             try:
                 algorithm(
-                    self.hub, self.ranks, self.group_rank, array, op, tag, self.timeout
+                    self.hub, self.ranks, self.group_rank, array, op, tag,
+                    self.timeout, self.chunk_bytes,
                 )
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
@@ -461,7 +512,8 @@ class ProcessGroup:
             self._check_signature(seq, signature)
             try:
                 algorithms.broadcast(
-                    self.hub, self.ranks, self.group_rank, array, src, tag, self.timeout
+                    self.hub, self.ranks, self.group_rank, array, src, tag,
+                    self.timeout, self.chunk_bytes,
                 )
             except TransportTimeoutError as exc:
                 raise CollectiveTimeoutError(str(exc)) from exc
@@ -609,6 +661,12 @@ class ProcessGroup:
         array[...] = incoming.reshape(array.shape)
 
     def barrier(self) -> None:
+        """Block until every member rank reaches this barrier.
+
+        Implemented as a 1-element tree AllReduce: ≈ 2·⌈log₂ p⌉·α.
+        Thread-safe like every collective here: issue from the rank's
+        own thread; the transfer itself runs on the comm worker.
+        """
         tag = self._next_tag("barrier")
         seq = tag[1]
         signature = _desync.fingerprint("barrier")

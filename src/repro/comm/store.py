@@ -26,6 +26,7 @@ class Store:
         self.timeout = timeout
 
     def set(self, key: str, value: Any) -> None:
+        """Publish ``value`` under ``key`` and wake blocked readers."""
         with self._lock:
             self._data[key] = value
             self._lock.notify_all()
@@ -57,6 +58,7 @@ class Store:
             return value
 
     def wait(self, keys: Iterable[str], timeout: float | None = None) -> None:
+        """Block until every key in ``keys`` exists; raises on timeout."""
         deadline = timeout if timeout is not None else self.timeout
         keys = list(keys)
         with self._lock:
@@ -77,9 +79,11 @@ class Store:
             return self._data[key]
 
     def delete(self, key: str) -> bool:
+        """Remove ``key``; returns True if it existed."""
         with self._lock:
             return self._data.pop(key, None) is not None
 
     def keys(self) -> list:
+        """Snapshot of all keys currently set."""
         with self._lock:
             return list(self._data)

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.autograd.tensor import Tensor
 from repro.comm.distributed import get_context
-from repro.core.bucket import compute_bucket_assignment
+from repro.core.bucket import cached_bucket_assignment
 from repro.core.reducer import CommHook, Reducer
 from repro.debug.flight_recorder import collective_context
 from repro.debug.levels import DEBUG, DETAIL, INFO, debug_level_name
@@ -63,6 +63,17 @@ class DistributedDataParallel(Module):
     first_bucket_cap_mb:
         Optional smaller cap for the first bucket so communication can
         start earlier.
+    gradient_as_bucket_view:
+        When True (default), parameters' ``.grad`` tensors are zero-copy
+        views of the reducer's flat bucket buffers: backward writes
+        gradients directly into communication memory and no gather or
+        write-back copies happen on the hot path.  Set False to get the
+        seed copy-in/copy-out path (same numerics, more memory traffic).
+    max_in_flight_buckets:
+        Optional cap on concurrently outstanding bucket AllReduces (see
+        :class:`~repro.core.reducer.Reducer`); pair with a process group
+        constructed with ``num_streams > 1`` to actually run several
+        buckets' collectives concurrently.
     """
 
     def __init__(
@@ -77,6 +88,8 @@ class DistributedDataParallel(Module):
         first_bucket_cap_mb: Optional[float] = None,
         trace_backward_order: bool = False,
         rebucket_after_iterations: int = 5,
+        gradient_as_bucket_view: bool = True,
+        max_in_flight_buckets: Optional[int] = None,
     ):
         super().__init__()
         self.module = module
@@ -114,8 +127,10 @@ class DistributedDataParallel(Module):
         if DEBUG.level >= DETAIL:
             self._verify_replica_values()
 
-        # (2) Bucket assignment in reverse parameters() order.
-        bucket_specs = compute_bucket_assignment(
+        # (2) Bucket assignment in reverse parameters() order.  The
+        # layout is memoized process-wide: re-wrapping a model with the
+        # same parameter signature and caps reuses the cached specs.
+        bucket_specs = cached_bucket_assignment(
             self._params,
             bucket_cap_bytes=int(bucket_cap_mb * MB),
             first_bucket_cap_bytes=(
@@ -140,6 +155,8 @@ class DistributedDataParallel(Module):
             comm_hook=comm_hook,
             order_tracer=tracer,
             param_names=self._param_names,
+            gradient_as_bucket_view=gradient_as_bucket_view,
+            max_in_flight_buckets=max_in_flight_buckets,
         )
         self._rebucket_after = rebucket_after_iterations
         self._rebucket_done = not trace_backward_order
@@ -368,6 +385,11 @@ class DistributedDataParallel(Module):
                 list(b.spec.param_indices) for b in reducer.buckets
             ],
             "rebuilt_bucket_count": reducer.rebuilt_bucket_count,
+            "gradient_as_bucket_view": reducer.gradient_as_bucket_view,
+            "grad_copy_count": reducer.grad_copy_count,
+            "zero_copy_hits": reducer.zero_copy_hits,
+            "layout_allocations": reducer.layout_allocations,
+            "noop_rebuild_count": reducer.noop_rebuild_count,
             "iterations_synced": reducer.iterations_synced,
             "find_unused_parameters": self.find_unused_parameters,
             "unused_parameter_count": reducer.last_unused_parameter_count,

@@ -5,9 +5,14 @@ Responsibilities, mirroring the paper's four components:
 1. **Parameter-to-bucket mapping** — flat per-bucket buffers allocated
    on the same logical device as their parameters.
 2. **Autograd hooks** — one post-hook per parameter's gradient
-   accumulator.  Each hook copies the fresh gradient into its bucket
-   slot and decrements the bucket's pending count; the hook that drops
-   a count to zero marks the bucket ready.
+   accumulator.  By default (``gradient_as_bucket_view=True``) each
+   parameter's ``.grad`` is a zero-copy numpy *view* of its bucket slot:
+   the autograd engine writes gradients directly into bucket memory, so
+   the hook only decrements the bucket's pending count — no gather copy
+   on the hot path.  With views disabled, the hook copies the fresh
+   gradient into its slot (the seed data path, kept as a measurable
+   baseline).  The hook that drops a count to zero marks the bucket
+   ready.
 3. **Bucket AllReduce** — ready buckets launch *asynchronously* and
    strictly **in bucket-index order** on every rank; bucket ``i+1``
    never launches before bucket ``i`` (Fig. 3(a) caveat).  The hook
@@ -94,6 +99,19 @@ class Reducer:
         the "no overlap" baselines of Fig. 6.
     comm_hook:
         Optional gradient-compression hook (paper §6.2.3).
+    gradient_as_bucket_view:
+        When True (default), install each parameter's gradient as a
+        zero-copy view of its bucket slot; the autograd engine then
+        writes gradients directly into bucket memory and finalize needs
+        no write-back copy either.  Views are adopted lazily (a
+        parameter that never produces a gradient keeps ``grad is
+        None``).  False reproduces the seed copy-in/copy-out path.
+    max_in_flight_buckets:
+        Optional cap on concurrently outstanding bucket AllReduces:
+        after launching bucket ``i``, wait for bucket ``i - cap`` before
+        launching further.  None (default) leaves all buckets in flight,
+        which with a multi-stream process group runs them genuinely
+        concurrently.
     """
 
     def __init__(
@@ -106,6 +124,8 @@ class Reducer:
         comm_hook: Optional[CommHook] = None,
         order_tracer=None,
         param_names: Optional[Sequence[str]] = None,
+        gradient_as_bucket_view: bool = True,
+        max_in_flight_buckets: Optional[int] = None,
     ):
         self.params: List[Tensor] = list(params)
         # Human-readable names (``module.named_parameters()`` order) so
@@ -122,19 +142,27 @@ class Reducer:
         self.find_unused_parameters = find_unused_parameters
         self.overlap = overlap
         self.comm_hook = comm_hook
+        self.gradient_as_bucket_view = gradient_as_bucket_view
+        if max_in_flight_buckets is not None and max_in_flight_buckets < 1:
+            raise ValueError("max_in_flight_buckets must be >= 1 or None")
+        self.max_in_flight_buckets = max_in_flight_buckets
         # Optional BackwardOrderTracer recording real gradient-ready
         # order for rebucketing (paper §6.2.1).
         self.order_tracer = order_tracer
 
-        self.buckets = [
-            _Bucket(spec, self.params[spec.param_indices[0]].dtype if spec.param_indices else np.float64)
-            for spec in bucket_specs
-        ]
-        # param index -> (bucket position, slot position)
-        self._locator = {}
-        for position, bucket in enumerate(self.buckets):
-            for slot, param_index in enumerate(bucket.spec.param_indices):
-                self._locator[param_index] = (position, slot)
+        # Introspection counters used by tests and benchmarks.
+        #: Bucket buffers allocated over this reducer's lifetime; stays
+        #: flat in steady state (the zero-layout-work acceptance check).
+        self.layout_allocations = 0
+        #: Gradients that had to be gathered into a bucket by copy.
+        self.grad_copy_count = 0
+        #: Gradients that were already resident in bucket memory when
+        #: their hook fired (the zero-copy fast path).
+        self.zero_copy_hits = 0
+        #: rebuild_buckets calls that were no-ops (identical layout).
+        self.noop_rebuild_count = 0
+
+        self._install_layout(bucket_specs)
 
         self._accumulator_to_index = {}
         self._hook_handles = []
@@ -157,7 +185,6 @@ class Reducer:
         self._finalized = True
         self._lock = threading.Lock()
 
-        # Introspection counters used by tests and benchmarks.
         self.iterations_synced = 0
         self.rebuilt_bucket_count = 0
         # Wall-clock phase stats for the previous synchronized
@@ -171,6 +198,54 @@ class Reducer:
         )
         # Parameters marked ready-as-unused in the last prepared backward.
         self.last_unused_parameter_count = 0
+
+    # ------------------------------------------------------------------
+    # layout installation
+    # ------------------------------------------------------------------
+    def _install_layout(self, bucket_specs: Sequence[BucketSpec]) -> None:
+        """Allocate bucket buffers and (optionally) gradient views.
+
+        In view mode every parameter gets a Tensor whose ``.data`` is a
+        reshaped slice of its bucket's flat buffer; the view is handed
+        to the parameter's gradient accumulator for lazy adoption, and
+        any live gradient value is migrated into the new storage so a
+        rebuild never loses accumulated gradients (no_sync, §3.2.4).
+        """
+        self._bucket_specs = list(bucket_specs)
+        self.buckets = [
+            _Bucket(spec, self.params[spec.param_indices[0]].dtype if spec.param_indices else np.float64)
+            for spec in bucket_specs
+        ]
+        self.layout_allocations += len(self.buckets)
+        # param index -> (bucket position, slot position)
+        self._locator = {}
+        for position, bucket in enumerate(self.buckets):
+            for slot, param_index in enumerate(bucket.spec.param_indices):
+                self._locator[param_index] = (position, slot)
+        # Per-parameter gradient views into bucket storage (None when
+        # views are disabled).  Stash for unused-parameter slot contents
+        # that must survive the zero-fill + AllReduce round trip.
+        self._grad_views: List[Optional[Tensor]] = [None] * len(self.params)
+        self._unused_stash: Dict[int, np.ndarray] = {}
+        if not self.gradient_as_bucket_view:
+            return
+        for bucket in self.buckets:
+            spec = bucket.spec
+            for slot, param_index in enumerate(spec.param_indices):
+                param = self.params[param_index]
+                offset = spec.offsets[slot]
+                size = spec.sizes[slot]
+                window = bucket.flat[offset : offset + size]
+                view = Tensor(
+                    window.reshape(param.shape),
+                    device=getattr(param, "device", spec.device),
+                )
+                self._grad_views[param_index] = view
+                if param.grad is not None and param.grad is not view:
+                    # Migrate the live gradient into the new storage.
+                    view.data[...] = param.grad.data
+                    param.grad = view
+                param.accumulator().set_grad_view(view)
 
     # ------------------------------------------------------------------
     # iteration lifecycle
@@ -284,8 +359,17 @@ class Reducer:
         offset = spec.offsets[slot]
         size = spec.sizes[slot]
         param = self.params[param_index]
+        view = self._grad_views[param_index]
         if unused:
-            # Unused parameters contribute zeros to the reduced sum.
+            # Unused parameters contribute zeros to the reduced sum.  If
+            # the parameter's gradient aliases the slot (an accumulated
+            # value from earlier iterations lives there), stash it so
+            # finalize can restore it when the parameter turns out to be
+            # globally unused ("gradients stay intact", §3.2.3).
+            if view is not None and param.grad is view:
+                self._unused_stash[param_index] = bucket.flat[
+                    offset : offset + size
+                ].copy()
             bucket.flat[offset : offset + size] = 0.0
             self.last_unused_parameter_count += 1
         else:
@@ -293,7 +377,13 @@ class Reducer:
                 raise ReducerError(
                     f"hook fired for parameter {param_index} but .grad is None"
                 )
-            bucket.flat[offset : offset + size] = param.grad.data.reshape(-1)
+            if view is not None and param.grad is view:
+                # Zero-copy: the engine already wrote the gradient into
+                # bucket memory through the installed view.
+                self.zero_copy_hits += 1
+            else:
+                bucket.flat[offset : offset + size] = param.grad.data.reshape(-1)
+                self.grad_copy_count += 1
         if bucket.pending <= 0:
             raise ReducerError(
                 f"bucket {spec.index} over-counted ready parameters; a "
@@ -323,6 +413,12 @@ class Reducer:
                 return
             self._launch(bucket)
             self._next_bucket += 1
+            if self.max_in_flight_buckets is not None:
+                # Throttle: block on the bucket that fell out of the
+                # in-flight window before launching any further.
+                trailing = self._next_bucket - 1 - self.max_in_flight_buckets
+                if trailing >= 0 and self.buckets[trailing].work is not None:
+                    self.buckets[trailing].work.wait()
 
     def _launch(self, bucket: _Bucket) -> None:
         if bucket.launched:
@@ -372,17 +468,34 @@ class Reducer:
                 # Average: the collective summed gradients across ranks.
                 bucket.flat /= self.world_size
             for slot, param_index in enumerate(bucket.spec.param_indices):
-                if globally_used is not None and not globally_used[param_index]:
-                    # Globally unused gradients must stay intact (§3.2.3).
-                    continue
                 param = self.params[param_index]
+                view = self._grad_views[param_index]
+                aliased = view is not None and param.grad is view
                 offset = bucket.spec.offsets[slot]
                 size = bucket.spec.sizes[slot]
+                if globally_used is not None and not globally_used[param_index]:
+                    # Globally unused gradients must stay intact (§3.2.3):
+                    # a grad aliasing the (zeroed + reduced) slot gets its
+                    # stashed value back; detached grads were never touched.
+                    if aliased and param_index in self._unused_stash:
+                        bucket.flat[offset : offset + size] = self._unused_stash[
+                            param_index
+                        ]
+                    continue
+                if aliased:
+                    # Zero-copy: the averaged result is already visible
+                    # through the view; nothing to write back.
+                    continue
                 value = bucket.flat[offset : offset + size].reshape(param.shape)
                 if param.grad is None:
-                    param.grad = Tensor(value.copy())
+                    if view is not None:
+                        # Adopt the view — the value already lives there.
+                        param.grad = view
+                    else:
+                        param.grad = Tensor(value.copy())
                 else:
                     param.grad.data[...] = value
+        self._unused_stash.clear()
         self._expect_hooks = False
         self._finalized = True
         self.iterations_synced += 1
@@ -431,25 +544,43 @@ class Reducer:
         self.comm_hook = hook
 
     def rebuild_buckets(self, bucket_specs: Sequence[BucketSpec]) -> None:
-        """Swap in a new bucket layout (order-prediction support, §6.2.1)."""
+        """Swap in a new bucket layout (order-prediction support, §6.2.1).
+
+        Rebuilding with a layout identical to the current one is a no-op
+        (no reallocation, no view churn) — the steady state of PyTorch's
+        ``Reducer._rebuild_buckets``, which fires at most once per
+        training run unless the graph actually changes.
+        """
         if not self._finalized:
             raise ReducerError("cannot rebuild buckets mid-iteration")
         validate_assignment(bucket_specs, len(self.params))
-        dtype = self.params[0].dtype if self.params else np.float64
-        self.buckets = [_Bucket(spec, dtype) for spec in bucket_specs]
-        self._locator = {}
-        for position, bucket in enumerate(self.buckets):
-            for slot, param_index in enumerate(bucket.spec.param_indices):
-                self._locator[param_index] = (position, slot)
         self.rebuilt_bucket_count += 1
+        if list(bucket_specs) == self._bucket_specs:
+            # Identical layout: keep the live buffers and views.
+            self.noop_rebuild_count += 1
+            return
+        self._install_layout(bucket_specs)
         if TRACER.enabled:
             registry_for(self.recorder.rank).counter("reducer.rebuilds").add(1)
 
     def detach_hooks(self) -> None:
-        """Remove all autograd hooks (used when tearing DDP down)."""
+        """Remove all autograd hooks and gradient views (DDP teardown).
+
+        Gradients that currently alias bucket memory are detached into
+        private copies so the module remains usable (and its gradients
+        mutable) after the reducer — and its buffers — are dropped.
+        """
         for handle in self._hook_handles:
             handle()
         self._hook_handles.clear()
+        for index, param in enumerate(self.params):
+            view = self._grad_views[index]
+            if view is None:
+                continue
+            if param.grad is view:
+                param.grad = Tensor(view.data.copy(), device=view.device)
+            param.accumulator().set_grad_view(None)
+        self._grad_views = [None] * len(self.params)
 
     @property
     def finalized(self) -> bool:

@@ -10,9 +10,15 @@ from repro.comm import run_distributed
 from repro.utils import manual_seed
 
 
-def run_world(world_size, fn, backend=None, timeout=10.0):
-    """Run ``fn`` on rank threads with a short test-friendly timeout."""
-    return run_distributed(world_size, fn, backend=backend, timeout=timeout)
+def run_world(world_size, fn, backend=None, timeout=10.0, **group_kwargs):
+    """Run ``fn`` on rank threads with a short test-friendly timeout.
+
+    Extra keyword arguments (``num_streams=2``, ``chunk_bytes=...``)
+    are forwarded to the backend process-group constructor.
+    """
+    return run_distributed(
+        world_size, fn, backend=backend, timeout=timeout, **group_kwargs
+    )
 
 
 def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:

@@ -1,0 +1,412 @@
+"""Hot-path overhaul: zero-copy buckets, layout cache, chunked collectives.
+
+Covers the acceptance criteria of the flat-bucket data path:
+
+* after backward, each parameter's ``.grad`` aliases its bucket's flat
+  buffer (no gather copy on launch, no write-back copy on finalize);
+* steady-state iterations perform zero layout allocations, and a
+  graph change invalidates the cache, rebuilds, and stays numerically
+  identical;
+* chunked ring/halving-doubling match ``allreduce_naive`` on odd
+  sizes, non-divisible chunk counts, and world sizes 1–5;
+* multi-stream process groups keep collectives correct and matched.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import algorithms as alg
+from repro.comm import get_context
+from repro.comm.transport import TransportHub
+from repro.core import DistributedDataParallel
+from repro.core.bucket import (
+    BucketLayoutCache,
+    cached_bucket_assignment,
+    compute_bucket_assignment,
+)
+from repro.core.reducer import Reducer
+from repro.nn.module import Parameter
+from repro.optim import SGD
+from repro.utils import manual_seed
+
+from conftest import run_world, small_classifier
+from test_reducer import RecordingGroup, make_reducer
+
+
+def _run_ranks(world, fn, timeout=15.0):
+    """Run ``fn(hub, ranks, me)`` on plain threads (no process group)."""
+    import threading
+
+    hub = TransportHub(world, default_timeout=timeout)
+    ranks = list(range(world))
+    results = [None] * world
+    errors = []
+
+    def body(rank):
+        try:
+            results[rank] = fn(hub, ranks, rank)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            hub.close()
+
+    threads = [threading.Thread(target=body, args=(r,), daemon=True) for r in ranks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout * 2)
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestZeroCopyViews:
+    def test_grad_aliases_bucket_after_backward(self):
+        params, reducer, group = make_reducer()
+        reducer.prepare_for_backward([])
+        sum((p * 2.0).sum() for p in params).backward()
+        assert reducer.finalized
+        for index, param in enumerate(params):
+            position, slot = reducer._locator[index]
+            bucket = reducer.buckets[position]
+            assert param.grad is not None
+            assert np.shares_memory(param.grad.data, bucket.flat)
+
+    def test_no_copies_on_hot_path(self):
+        params, reducer, group = make_reducer()
+        for _ in range(3):
+            reducer.prepare_for_backward([])
+            sum((p * 2.0).sum() for p in params).backward()
+        assert reducer.grad_copy_count == 0
+        assert reducer.zero_copy_hits == 3 * len(params)
+
+    def test_copy_mode_matches_view_mode_numerically(self):
+        grads = {}
+        for view in (False, True):
+            params, reducer, group = make_reducer(gradient_as_bucket_view=view)
+            reducer.prepare_for_backward([])
+            sum(((p + 1.0) ** 2).sum() for p in params).backward()
+            grads[view] = [p.grad.data.copy() for p in params]
+            if not view:
+                for p in params:
+                    position, slot = reducer._locator[0]
+                    assert not np.shares_memory(
+                        p.grad.data, reducer.buckets[position].flat
+                    )
+        for a, b in zip(grads[False], grads[True]):
+            np.testing.assert_allclose(a, b)
+
+    def test_zero_grad_then_next_iteration_realiases(self):
+        params, reducer, group = make_reducer()
+        reducer.prepare_for_backward([])
+        sum((p * 2.0).sum() for p in params).backward()
+        for p in params:
+            p.grad = None  # optimizer.zero_grad()
+        reducer.prepare_for_backward([])
+        sum((p * 3.0).sum() for p in params).backward()
+        for index, param in enumerate(params):
+            position, _ = reducer._locator[index]
+            assert np.shares_memory(param.grad.data, reducer.buckets[position].flat)
+            assert np.allclose(param.grad.data, 3.0)
+
+    def test_detach_hooks_privatizes_gradients(self):
+        params, reducer, group = make_reducer()
+        reducer.prepare_for_backward([])
+        sum((p * 2.0).sum() for p in params).backward()
+        reducer.detach_hooks()
+        for index, param in enumerate(params):
+            position, _ = reducer._locator[index]
+            assert not np.shares_memory(param.grad.data, reducer.buckets[position].flat)
+            assert np.allclose(param.grad.data, 2.0)
+
+    def test_ddp_end_to_end_zero_copy(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((8, 6))
+        Y = rng.integers(0, 4, 8)
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.001)
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(2):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            stats = ddp.ddp_stats()
+            aliasing = all(
+                np.shares_memory(p.grad.data, b.flat)
+                for p in ddp.reducer.params
+                for b in [ddp.reducer.buckets[ddp.reducer._locator[
+                    ddp.reducer.params.index(p)][0]]]
+            )
+            return stats["grad_copy_count"], stats["zero_copy_hits"], aliasing
+
+        results = run_world(2, body, backend="gloo")
+        for copies, hits, aliasing in results:
+            assert copies == 0
+            assert hits > 0
+            assert aliasing
+
+    def test_view_and_copy_mode_training_identical(self):
+        rng = np.random.default_rng(11)
+        X = rng.standard_normal((8, 6))
+        Y = rng.integers(0, 4, 8)
+
+        def train(view):
+            def body(rank):
+                model = small_classifier()
+                ddp = DistributedDataParallel(
+                    model, bucket_cap_mb=0.001, gradient_as_bucket_view=view
+                )
+                opt = SGD(ddp.parameters(), lr=0.05)
+                loss_fn = nn.CrossEntropyLoss()
+                shard = slice(rank * 4, (rank + 1) * 4)
+                for _ in range(3):
+                    opt.zero_grad()
+                    loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                    opt.step()
+                return ddp.state_dict()
+
+            return run_world(2, body, backend="gloo")
+
+        with_view = train(True)
+        without = train(False)
+        for name in with_view[0]:
+            np.testing.assert_allclose(with_view[0][name], without[0][name])
+
+    def test_globally_unused_gradient_survives_zero_fill(self):
+        """§3.2.3: a parameter unused on *every* rank keeps its gradient,
+        even though its (aliased) bucket slot was zeroed and reduced."""
+        params, reducer, group = make_reducer(
+            sizes=(4, 4), find_unused_parameters=True
+        )
+        # Iteration 1: both params used; grads alias bucket slots, and
+        # the finalize's bitmap AllReduce consumes the usage record.
+        out1 = sum((p * 2.0).sum() for p in params)
+        reducer.prepare_for_backward([out1])
+        out1.backward()
+        kept = params[1].grad.data.copy()
+        # Iteration 2: param 1 unused everywhere (fake group's bitmap
+        # allreduce just scales the local bitmap, so unused stays 0).
+        out = (params[0] * 2.0).sum()
+        reducer.prepare_for_backward([out])
+        out.backward()
+        assert reducer.finalized
+        np.testing.assert_allclose(params[1].grad.data, kept)
+
+
+class TestLayoutCache:
+    def test_same_signature_hits_cache(self):
+        cache = BucketLayoutCache()
+        params_a = [Parameter(np.zeros(4)), Parameter(np.zeros((2, 3)))]
+        params_b = [Parameter(np.ones(4)), Parameter(np.ones((2, 3)))]
+        first = cache.get(params_a, 1024)
+        second = cache.get(params_b, 1024)  # same shapes → same layout
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_graph_change_misses_cache(self):
+        cache = BucketLayoutCache()
+        cache.get([Parameter(np.zeros(4))], 1024)
+        cache.get([Parameter(np.zeros(5))], 1024)
+        cache.get([Parameter(np.zeros(4))], 2048)
+        assert cache.stats()["misses"] == 3
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_cached_assignment_matches_computed(self):
+        params = [Parameter(np.zeros(7)), Parameter(np.zeros((3, 2)))]
+        assert cached_bucket_assignment(params, 64) == compute_bucket_assignment(
+            params, 64
+        )
+
+    def test_steady_state_zero_layout_allocations(self):
+        params, reducer, group = make_reducer()
+        baseline = reducer.layout_allocations
+        for _ in range(4):
+            reducer.prepare_for_backward([])
+            sum((p * 1.0).sum() for p in params).backward()
+        assert reducer.layout_allocations == baseline
+
+    def test_identical_rebuild_is_noop(self):
+        params, reducer, group = make_reducer(sizes=(4, 4, 4))
+        specs = compute_bucket_assignment(params, bucket_cap_bytes=10**9)
+        buckets_before = reducer.buckets
+        allocs_before = reducer.layout_allocations
+        reducer.rebuild_buckets(specs)
+        assert reducer.buckets is buckets_before
+        assert reducer.layout_allocations == allocs_before
+        assert reducer.noop_rebuild_count == 1
+        assert reducer.rebuilt_bucket_count == 1
+
+    def test_rebuild_after_graph_change_identical_results(self):
+        """Graph change → rebuild → results identical to a fresh layout."""
+        params, reducer, group = make_reducer(sizes=(4, 4, 4), cap_bytes=40)
+        reducer.prepare_for_backward([])
+        sum((p * 2.0).sum() for p in params).backward()
+        new_specs = compute_bucket_assignment(params, bucket_cap_bytes=10**9)
+        reducer.rebuild_buckets(new_specs)
+        assert reducer.rebuilt_bucket_count == 1
+        assert reducer.noop_rebuild_count == 0
+        for p in params:
+            p.grad = None  # optimizer.zero_grad() between iterations
+        reducer.prepare_for_backward([])
+        sum((p * 3.0).sum() for p in params).backward()
+        for index, param in enumerate(params):
+            assert np.allclose(param.grad.data, 3.0)
+            position, _ = reducer._locator[index]
+            assert np.shares_memory(param.grad.data, reducer.buckets[position].flat)
+
+    def test_rebuild_migrates_live_gradients(self):
+        params, reducer, group = make_reducer(sizes=(4, 4), cap_bytes=40)
+        reducer.prepare_for_backward([])
+        sum((p * 2.0).sum() for p in params).backward()
+        values = [p.grad.data.copy() for p in params]
+        reducer.rebuild_buckets(compute_bucket_assignment(params, 10**9))
+        for param, value in zip(params, values):
+            np.testing.assert_allclose(param.grad.data, value)
+
+
+WORLDS_1_TO_5 = [1, 2, 3, 4, 5]
+ODD_SIZES = [1, 3, 17, 97]
+CHUNKED_ALGOS = [alg.allreduce_ring, alg.allreduce_halving_doubling, alg.allreduce_tree]
+
+
+class TestChunkedCollectives:
+    @pytest.mark.parametrize("world", WORLDS_1_TO_5)
+    @pytest.mark.parametrize("size", ODD_SIZES)
+    @pytest.mark.parametrize("fn", CHUNKED_ALGOS, ids=lambda f: f.__name__)
+    def test_matches_naive_on_odd_sizes(self, world, size, fn):
+        rng = np.random.default_rng(world * 100 + size)
+        inputs = [rng.standard_normal(size) for _ in range(world)]
+
+        def chunked(hub, ranks, me):
+            buf = inputs[me].copy()
+            # 40-byte chunks: 5 fp64 elements → non-divisible chunk
+            # counts for every odd size here.
+            fn(hub, ranks, me, buf, "sum", "t", 15.0, 40)
+            return buf
+
+        def naive(hub, ranks, me):
+            buf = inputs[me].copy()
+            alg.allreduce_naive(hub, ranks, me, buf, "sum", "n", 15.0)
+            return buf
+
+        chunked_out = _run_ranks(world, chunked)
+        naive_out = _run_ranks(world, naive)
+        for mine, reference in zip(chunked_out, naive_out):
+            np.testing.assert_allclose(mine, reference, rtol=1e-9)
+
+    @pytest.mark.parametrize("chunk_bytes", [8, 24, 100, 10**9])
+    def test_chunk_size_never_changes_result(self, chunk_bytes):
+        world, size = 4, 53
+        rng = np.random.default_rng(chunk_bytes % 1000)
+        inputs = [rng.standard_normal(size) for _ in range(world)]
+        expected = np.sum(inputs, axis=0)
+
+        def body(hub, ranks, me):
+            buf = inputs[me].copy()
+            alg.allreduce_ring(hub, ranks, me, buf, "sum", "t", 15.0, chunk_bytes)
+            return buf
+
+        for out in _run_ranks(world, body):
+            np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_chunking_multiplies_message_count(self):
+        """25 fp64 elements, world 5 → 5-element segments; 2-element
+        chunks (16 bytes) → 3 chunks per segment → 3·2(p−1) messages."""
+        world = 5
+        hub_counts = {}
+
+        def body(hub, ranks, me):
+            buf = np.ones(25)
+            alg.allreduce_ring(hub, ranks, me, buf, "sum", "t", 15.0, 16)
+            hub_counts[me] = hub.messages_sent[me]
+            return buf
+
+        _run_ranks(world, body)
+        assert all(count == 3 * 2 * (world - 1) for count in hub_counts.values())
+
+    def test_default_chunking_keeps_small_buffers_single_message(self):
+        world = 5
+
+        def body(hub, ranks, me):
+            buf = np.ones(25)
+            alg.allreduce_ring(hub, ranks, me, buf, "sum", "t", 15.0)
+            return hub.messages_sent[me]
+
+        counts = _run_ranks(world, body)
+        assert counts == [2 * (world - 1)] * world
+
+    def test_partition_spans_matches_array_split(self):
+        for total, parts in [(12, 4), (13, 4), (3, 5), (0, 3), (25, 5)]:
+            spans = alg.partition_spans(total, parts)
+            reference = np.array_split(np.arange(total), parts)
+            assert len(spans) == parts
+            for (lo, hi), ref in zip(spans, reference):
+                np.testing.assert_array_equal(np.arange(lo, hi), ref)
+
+    def test_set_chunk_bytes_roundtrip(self):
+        original = alg.get_chunk_bytes()
+        try:
+            alg.set_chunk_bytes(4096)
+            assert alg.get_chunk_bytes() == 4096
+            with pytest.raises(ValueError):
+                alg.set_chunk_bytes(0)
+        finally:
+            alg.set_chunk_bytes(original)
+
+
+class TestMultiStream:
+    def test_many_async_collectives_two_streams(self):
+        def body(rank):
+            pg = get_context().default_group
+            assert pg.num_streams == 2
+            tensors = [Tensor(np.full(8, float(rank + 1 + i))) for i in range(12)]
+            works = [pg.allreduce(t, async_op=True) for t in tensors]
+            for w in works:
+                w.wait()
+            return [t.data.copy() for t in tensors]
+
+        results = run_world(2, body, backend="gloo", num_streams=2)
+        for i in range(12):
+            expected = np.full(8, float(1 + i) + float(2 + i))
+            for rank_result in results:
+                np.testing.assert_allclose(rank_result[i], expected)
+
+    def test_ddp_training_identical_across_stream_counts(self):
+        rng = np.random.default_rng(23)
+        X = rng.standard_normal((8, 6))
+        Y = rng.integers(0, 4, 8)
+
+        def train(streams):
+            def body(rank):
+                model = small_classifier()
+                ddp = DistributedDataParallel(model, bucket_cap_mb=0.001)
+                opt = SGD(ddp.parameters(), lr=0.05)
+                loss_fn = nn.CrossEntropyLoss()
+                shard = slice(rank * 4, (rank + 1) * 4)
+                for _ in range(3):
+                    opt.zero_grad()
+                    loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                    opt.step()
+                return ddp.state_dict()
+
+            return run_world(2, body, backend="gloo", num_streams=streams)
+
+        one = train(1)
+        three = train(3)
+        for name in one[0]:
+            np.testing.assert_allclose(one[0][name], three[0][name])
+
+    def test_shutdown_joins_all_streams(self):
+        def body(rank):
+            pg = get_context().default_group
+            pg.allreduce(Tensor(np.ones(4)))
+            assert pg.shutdown()
+            return True
+
+        assert all(run_world(2, body, backend="gloo", num_streams=4))
