@@ -90,12 +90,16 @@ def init_process_group(
     rank: Optional[int] = None,
     world_size: Optional[int] = None,
     timeout: float = 30.0,
+    group_id=0,
     **kwargs,
 ) -> ProcessGroup:
     """Create (or recreate) the default process group for this rank.
 
     Inside ``run_distributed`` the store/hub/rank arguments default to
     the harness-provided context; standalone callers must pass them.
+    ``group_id`` namespaces the group's store keys and message tags —
+    the elastic supervisor passes a fresh id per re-rendezvous
+    generation so stale keys from a dead generation cannot bleed in.
     """
     ctx = getattr(_thread_ctx, "ctx", None)
     if ctx is None:
@@ -110,7 +114,7 @@ def init_process_group(
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; options: {sorted(BACKENDS)}")
     group = BACKENDS[backend](
-        ctx.store, ctx.hub, ctx.rank, group_id=0, timeout=timeout, **kwargs
+        ctx.store, ctx.hub, ctx.rank, group_id=group_id, timeout=timeout, **kwargs
     )
     ctx.default_group = group
     ctx._owned_groups.append(group)
@@ -247,6 +251,7 @@ def run_distributed(
     timeout: float = 30.0,
     store: Optional[Store] = None,
     hub: Optional[TransportHub] = None,
+    fault_plan=None,
     **group_kwargs,
 ) -> List:
     """Run ``fn`` on ``world_size`` rank threads; returns per-rank results.
@@ -255,11 +260,15 @@ def run_distributed(
     ``backend`` is given, a default process group is initialized before
     ``fn`` runs; extra keyword arguments (e.g. ``num_streams=2``,
     ``chunk_bytes=65536``, ``algorithm="tree"``) are forwarded to the
-    backend constructor.  The first rank exception is re-raised in the
+    backend constructor.  A ``fault_plan``
+    (:class:`repro.resilience.FaultPlan`) is installed on the hub before
+    any rank starts.  The first rank exception is re-raised in the
     caller.
     """
     store = store or Store(timeout=timeout)
     hub = hub or TransportHub(world_size, default_timeout=timeout)
+    if fault_plan is not None:
+        hub.install_fault_plan(fault_plan)
     results: List = [None] * world_size
     errors: List = []
     wants_rank = len(inspect.signature(fn).parameters) >= 1

@@ -101,16 +101,34 @@ class Work:
         return self._done.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> None:
-        """Block until the collective finishes; re-raise any failure."""
+        """Block until the collective finishes; re-raise any failure.
+
+        A caller-side timeout does not leave the collective dangling:
+        the work is marked failed (first completion wins, so a worker
+        that finishes in the same instant keeps its result) and its
+        flight-recorder record — which would otherwise stay "started"
+        forever — is closed as failed with the timeout error.
+        """
         if not self._done.wait(timeout):
             detail = ""
             if self.meta:
                 detail = " (" + ", ".join(
                     f"{key}={value}" for key, value in sorted(self.meta.items())
                 ) + ")"
-            raise CollectiveTimeoutError(
-                f"timed out waiting for collective {self.description!r}{detail}"
+            error = CollectiveTimeoutError(
+                f"timed out waiting for collective {self.description!r}{detail} "
+                f"after {timeout}s (caller-side wait expired)"
             )
+            self._complete(error)
+            if self._error is None:
+                # Lost the race: the worker completed successfully
+                # between the wait expiring and our failure landing.
+                return
+            if self._debug_record is not None:
+                from repro.debug.flight_recorder import mark_record_failed
+
+                mark_record_failed(self._debug_record, self._error)
+            raise self._error
         if self._error is not None:
             raise self._error
 
@@ -188,6 +206,9 @@ class ProcessGroup:
         self.chunk_bytes = chunk_bytes
         self._seq = 0
         self._group_id = group_id if group_id is not None else 0
+        # Fault injection: collective-scoped rules (crash a rank as it
+        # issues its n-th collective) ride on the hub's installed plan.
+        self._fault_plan = getattr(hub, "fault_plan", None)
         # Byte counter for tests and reporting.
         self.bytes_communicated = 0
         self._closed = False
@@ -263,6 +284,11 @@ class ProcessGroup:
             record = work._debug_record
             if record is not None:
                 self.flight_recorder.mark_started(record)
+            # With a retrying transport, attribute this rank's retry
+            # counter movement to the collective that ran (approximate
+            # under num_streams > 1, exact otherwise).
+            retry_probe = getattr(self.hub, "retry_totals_for", None)
+            retry_before = retry_probe(self.global_rank) if retry_probe else None
             self._inflight_by_stream[stream] = (work, time.perf_counter())
             work._t_start = time.perf_counter()
             try:
@@ -271,6 +297,23 @@ class ProcessGroup:
                 error = exc
             work._t_end = time.perf_counter()
             self._inflight_by_stream[stream] = None
+            if retry_before is not None:
+                after = retry_probe(self.global_rank)
+                deltas = {
+                    name: after[i] - retry_before[i]
+                    for i, name in enumerate(
+                        ("retries", "retransmits", "duplicates_dropped",
+                         "corrupt_detected")
+                    )
+                    if after[i] > retry_before[i]
+                }
+                if deltas:
+                    if work.meta is not None:
+                        work.meta.update(deltas)
+                    if record is not None:
+                        extra = dict(record.extra or {})
+                        extra.update(deltas)
+                        record.extra = extra
             if record is not None:
                 self.flight_recorder.mark_completed(record, error)
             if TRACER.enabled:
@@ -304,6 +347,16 @@ class ProcessGroup:
         """
         if self._closed:
             raise CollectiveError("process group has been shut down")
+        if self._fault_plan is not None:
+            # Raises InjectedRankFailure on the issuing rank's own
+            # thread when a collective-scoped crash rule fires — before
+            # the collective is queued, so peers see a vanished rank.
+            self._fault_plan.on_collective(
+                self.global_rank,
+                (meta or {}).get("op", description),
+                (meta or {}).get("seq", -1),
+                self._group_id,
+            )
         work = Work(description, meta)
         stream = (meta or {}).get("seq", 0) % self.num_streams
         if self.flight_recorder is not None and DEBUG.level:
@@ -324,6 +377,14 @@ class ProcessGroup:
             return work
         work.wait(self.timeout + 5.0)
         return None
+
+    def install_fault_plan(self, plan) -> None:
+        """Install (or with ``None`` remove) a fault plan on this group.
+
+        Overrides the plan inherited from the hub for collective-scoped
+        rules; wire-scoped rules always live on the transport hub.
+        """
+        self._fault_plan = plan
 
     def shutdown(self, grace: float = 2.0) -> bool:
         """Stop the worker threads (idempotent); returns True if all joined.
@@ -367,7 +428,39 @@ class ProcessGroup:
                 "after the transport hub was closed (thread(s) %s stranded)",
                 self._group_id, self.global_rank, ", ".join(stranded),
             )
+        else:
+            self._cleanup_store_namespace()
         return not self.worker_stuck
+
+    def _cleanup_store_namespace(self) -> None:
+        """Drop this group's store keys once every member shut down.
+
+        Collectives leave one signature key per sequence number (plus
+        rendezvous counters, watchdog snapshots, barrier and DDP-check
+        keys), which would grow the store without bound across long
+        elastic runs that create a fresh group per generation.  The last
+        member to shut down cleanly deletes the whole namespace — at
+        that point no watchdog can still need the parting snapshots.
+        Ranks that die without reaching shutdown leave the keys behind
+        on purpose: they are the postmortem evidence.
+        """
+        gid = self._group_id
+        try:
+            arrivals = self.store.add(f"pgfini/{gid}/arrivals", 1)
+            if arrivals < len(self.ranks):
+                return
+            for prefix in (
+                f"pg{gid}/",       # rendezvous counter + per-seq signatures
+                f"pgdebug/{gid}/", # watchdog alarms and snapshots
+                f"mb/{gid}/",      # monitored_barrier counters
+                f"ddpchk/{gid}/",  # DDP construction consistency checks
+                f"pgfini/{gid}/",  # this counter itself
+            ):
+                self.store.delete_prefix(prefix)
+        except Exception:
+            logger.exception(
+                "store cleanup for group %s failed (keys left behind)", gid
+            )
 
     # ------------------------------------------------------------------
     # consistency checking
@@ -424,7 +517,7 @@ class ProcessGroup:
             try:
                 return self.store.get(key, timeout=max(0.0, min(0.25, remaining)))
             except StoreTimeoutError:
-                if self._closed:
+                if self._closed or self.hub.closed:
                     raise CollectiveError(
                         f"process group {self._group_id} shut down while "
                         f"waiting for the leader's signature of collective "

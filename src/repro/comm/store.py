@@ -83,7 +83,23 @@ class Store:
         with self._lock:
             return self._data.pop(key, None) is not None
 
-    def keys(self) -> list:
-        """Snapshot of all keys currently set."""
+    def delete_prefix(self, prefix: str) -> int:
+        """Remove every key starting with ``prefix``; returns the count.
+
+        Process groups call this on destroy to drop their namespaced
+        keys (per-seq collective signatures, watchdog snapshots, barrier
+        counters), so long-lived stores — notably the one shared across
+        elastic re-rendezvous generations — do not grow unboundedly.
+        """
         with self._lock:
+            victims = [key for key in self._data if key.startswith(prefix)]
+            for key in victims:
+                del self._data[key]
+            return len(victims)
+
+    def keys(self, prefix: str = "") -> list:
+        """Snapshot of all keys currently set (optionally prefix-filtered)."""
+        with self._lock:
+            if prefix:
+                return [key for key in self._data if key.startswith(prefix)]
             return list(self._data)

@@ -35,6 +35,11 @@ class TransportClosedError(RuntimeError):
     """The hub was shut down while a rank was blocked in ``recv``."""
 
 
+#: Sentinel distinguishing "no message before the slice expired" from a
+#: legitimate ``None`` payload in :meth:`TransportHub._wait_one`.
+_NOTHING = object()
+
+
 class TransportHub:
     """In-process message fabric connecting ``world_size`` ranks.
 
@@ -65,15 +70,45 @@ class TransportHub:
         # the debug watchdog's "who is stuck waiting on whom" evidence.
         self._waiting: Dict[int, Tuple[int, int, Hashable, float]] = {}
         self._wait_token = 0
+        #: Optional :class:`repro.resilience.FaultPlan` consulted on every
+        #: send (drop / delay / duplicate / corrupt / crash-rank rules).
+        self.fault_plan = None
+
+    def install_fault_plan(self, plan) -> None:
+        """Install a fault-injection plan; ``None`` removes it.
+
+        Every subsequent :meth:`send` consults ``plan.on_send`` — the
+        plan may drop the wire delivery, delay it, duplicate it, corrupt
+        the payload, or raise
+        :class:`~repro.resilience.InjectedRankFailure` on the sending
+        thread.  Process groups sharing this hub pick the plan up for
+        collective-scoped rules as well.
+        """
+        self.fault_plan = plan
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:
             raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
 
     def send(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
-        """Deposit ``payload`` into the (src, dst, tag) mailbox."""
+        """Deposit ``payload`` into the (src, dst, tag) mailbox.
+
+        With a fault plan installed the deposit models a lossy wire: the
+        plan decides what actually lands in the mailbox (nothing for a
+        drop, two copies for a duplicate, a perturbed copy for a
+        corruption) and dropped messages are not counted as sent.
+        """
         self._check_rank(src)
         self._check_rank(dst)
+        plan = self.fault_plan
+        if plan is None:
+            self._deposit(src, dst, tag, payload)
+            return
+        for delivery in plan.on_send(src, dst, tag, payload):
+            self._deposit(src, dst, tag, delivery)
+
+    def _deposit(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Place one message on the wire (counters + receiver wakeup)."""
         nbytes = getattr(payload, "nbytes", 0)
         with self._cond:
             if self._closed:
@@ -100,24 +135,12 @@ class TransportHub:
         key = (src, dst, tag)
         traced = TRACER.enabled
         t_start = time.perf_counter() if traced else 0.0
-        with self._cond:
-            token = self._wait_token
-            self._wait_token += 1
-            self._waiting[token] = (dst, src, tag, time.perf_counter())
-            try:
-                ok = self._cond.wait_for(
-                    lambda: self._closed or bool(self._mailboxes.get(key)), deadline
-                )
-            finally:
-                self._waiting.pop(token, None)
-            if self._closed:
-                raise TransportClosedError("transport hub closed during recv")
-            if not ok:
-                raise TransportTimeoutError(
-                    f"rank {dst} timed out waiting for message from rank {src} "
-                    f"tag {tag!r} after {deadline}s (peer rank diverged or hung?)"
-                )
-            payload = self._mailboxes[key].popleft()
+        payload = self._wait_one(key, deadline)
+        if payload is _NOTHING:
+            raise TransportTimeoutError(
+                f"rank {dst} timed out waiting for message from rank {src} "
+                f"tag {tag!r} after {deadline}s (peer rank diverged or hung?)"
+            )
         if traced:
             TRACER.record(
                 "transport.recv",
@@ -129,6 +152,30 @@ class TransportHub:
                 args={"src": src, "bytes": int(getattr(payload, "nbytes", 0))},
             )
         return payload
+
+    def _wait_one(self, key: Tuple[int, int, Hashable], timeout: float) -> Any:
+        """Pop the next message for ``key``, or ``_NOTHING`` on timeout.
+
+        The wait is registered in the blocked-receiver table (watchdog
+        evidence) and a hub close raises ``TransportClosedError``.
+        Subclasses use this to wait in short backoff slices.
+        """
+        src, dst, tag = key
+        with self._cond:
+            token = self._wait_token
+            self._wait_token += 1
+            self._waiting[token] = (dst, src, tag, time.perf_counter())
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._closed or bool(self._mailboxes.get(key)), timeout
+                )
+            finally:
+                self._waiting.pop(token, None)
+            if self._closed:
+                raise TransportClosedError("transport hub closed during recv")
+            if not ok:
+                return _NOTHING
+            return self._mailboxes[key].popleft()
 
     def close(self) -> None:
         """Wake every blocked receiver with ``TransportClosedError``."""

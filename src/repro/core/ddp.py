@@ -404,7 +404,16 @@ class DistributedDataParallel(Module):
             ],
             "last_iteration": dict(reducer.last_iteration_stats),
             "debug": self._debug_stats(),
+            "resilience": self._resilience_stats(),
         }
+
+    def _resilience_stats(self) -> Optional[dict]:
+        """Transport retry/dedup/corruption counters, when the group runs
+        over a :class:`~repro.resilience.ReliableTransportHub` (None on
+        the plain hub)."""
+        hub = getattr(self.process_group, "hub", None)
+        probe = getattr(hub, "resilience_stats", None)
+        return probe() if callable(probe) else None
 
     def _debug_stats(self) -> dict:
         """REPRO_DEBUG layer state: flight-recorder depth and watchdog

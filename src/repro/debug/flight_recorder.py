@@ -145,6 +145,14 @@ class FlightRecorder:
 
     def mark_completed(self, record: CollectiveRecord,
                        error: Optional[BaseException] = None) -> None:
+        """Close a record (first completion wins, like ``Work``).
+
+        A record already failed — e.g. by a caller-side ``Work.wait``
+        timeout or the hang watchdog — keeps its richer error even if
+        the communication worker later reports in.
+        """
+        if record.state in (COMPLETED, FAILED):
+            return
         record.t_end = time.perf_counter()
         if error is None:
             record.state = COMPLETED
@@ -210,6 +218,20 @@ class FlightRecorder:
         with self._lock:
             self._ring.clear()
             self.dropped = 0
+
+
+def mark_record_failed(record: CollectiveRecord, error: BaseException) -> None:
+    """Fail a record from outside its recorder (first terminal state wins).
+
+    Used by caller-side ``Work.wait`` timeouts, which hold the record
+    but not the recorder: the entry must not be left dangling in the
+    ``started`` state when the caller has already given up on it.
+    """
+    if record.state in (COMPLETED, FAILED):
+        return
+    record.t_end = time.perf_counter()
+    record.state = FAILED
+    record.error = f"{type(error).__name__}: {error}"
 
 
 # ----------------------------------------------------------------------

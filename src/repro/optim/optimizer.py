@@ -55,6 +55,52 @@ class Optimizer:
         """Per-parameter mutable state dict (momentum buffers etc.)."""
         return self.state.setdefault(id(param), {})
 
+    def _ordered_params(self) -> List[Tensor]:
+        return [param for group in self.param_groups for param in group["params"]]
+
+    def state_dict(self) -> Dict:
+        """Serializable optimizer state, keyed by parameter position.
+
+        Positions index the flattened ``param_groups`` order, which is
+        stable across identically constructed replicas — the property
+        checkpoint restore relies on (momentum/Adam moments depend on
+        the whole gradient history, so elastic recovery must restore
+        them alongside the parameters; see paper §2.2 on why averaged
+        parameters do not imply averaged optimizer state).
+        """
+        import numpy as np
+
+        state: Dict[int, Dict] = {}
+        for index, param in enumerate(self._ordered_params()):
+            per_param = self.state.get(id(param))
+            if per_param:
+                state[index] = {
+                    key: np.asarray(value).copy()
+                    for key, value in per_param.items()
+                }
+        return {"state": state}
+
+    def load_state_dict(self, state_dict: Dict) -> None:
+        """Restore state captured by :meth:`state_dict` (by position)."""
+        params = self._ordered_params()
+        self.state.clear()
+        for index, per_param in state_dict.get("state", {}).items():
+            index = int(index)
+            if not 0 <= index < len(params):
+                raise ValueError(
+                    f"optimizer state refers to parameter {index} but only "
+                    f"{len(params)} parameters are registered"
+                )
+            restored = {}
+            for key, value in per_param.items():
+                array = value.copy() if hasattr(value, "copy") else value
+                # Scalars (e.g. Adam's step count) round-trip through
+                # 0-d arrays when saved to npz; unwrap them.
+                if hasattr(array, "ndim") and array.ndim == 0:
+                    array = array.item()
+                restored[key] = array
+            self.state[id(params[index])] = restored
+
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 

@@ -1,0 +1,458 @@
+"""Shrink-to-survive elastic training: the generation supervisor.
+
+:func:`run_elastic` runs a DDP training loop the way production
+schedulers run it — expecting ranks to die.  Each attempt is a
+**generation**: a fresh :class:`~repro.resilience.transport.ReliableTransportHub`
+plus a fresh process group with a generation-unique ``group_id`` (so no
+store key from a dead generation can bleed into the next), one thread
+per rank, and a store-based heartbeat per rank.  The supervisor (the
+caller's thread) watches heartbeats and explicit death flags; when a
+rank dies it sets an abort flag, closes the hub to wake the blocked
+survivors, and applies the configured policy:
+
+``fail``
+    Re-raise the death as :class:`RankFailedError` (the behaviour of a
+    non-elastic job: one dead rank kills the run).
+``shrink``
+    Re-rendezvous the survivors into a smaller world, restore model and
+    optimizer state from the last checkpoint, and continue.  Gradient
+    averaging rescales automatically — the reducer divides by the *new*
+    group size.
+``pause_and_wait``
+    Re-run at the original world size, as if the scheduler replaced the
+    dead worker; state is likewise restored from the checkpoint.
+
+State travels between generations exclusively through
+:func:`repro.utils.checkpoint.save_training_checkpoint` files written
+by the generation's rank 0 every ``checkpoint_every`` iterations —
+surviving ranks never try to salvage in-memory state from a torn
+iteration, which is exactly how real elastic runtimes avoid mixing
+half-averaged gradients into the restored trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.comm.distributed import destroy_process_group, init_process_group
+from repro.comm.store import Store
+from repro.resilience.faults import FaultPlan, InjectedRankFailure
+from repro.resilience.heartbeat import Heartbeat, HeartbeatMonitor
+from repro.resilience.transport import ReliableTransportHub, RetryPolicy
+from repro.utils.checkpoint import (
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.utils.logging import logger
+from repro.utils.rank import set_current_rank
+
+
+class RankFailedError(RuntimeError):
+    """A rank died and the policy does not allow recovery.
+
+    Carries the dead ``spots`` (original rank ids) and the generation in
+    which the deaths happened.
+    """
+
+    def __init__(self, spots: List[int], generation: int, reason: str):
+        super().__init__(
+            f"rank(s) {spots} died in generation {generation}: {reason}"
+        )
+        self.spots = list(spots)
+        self.generation = generation
+
+
+class _GenerationAborted(Exception):
+    """Internal: the supervisor aborted this generation (not an error)."""
+
+
+@dataclass
+class ElasticConfig:
+    """Knobs for :func:`run_elastic`.
+
+    ``policy`` is ``"fail"``, ``"shrink"``, or ``"pause_and_wait"``.
+    ``min_world_size`` bounds shrinking; dropping below it raises.
+    ``max_restarts`` caps re-rendezvous attempts (generations beyond the
+    first), so a deterministic repeated death cannot loop forever.
+    ``checkpoint_every`` is the save cadence in iterations (rank 0 of
+    the current generation saves).  ``heartbeat_interval`` /
+    ``miss_threshold`` tune dead-rank detection; the defaults detect a
+    death in ~0.25 s, far below the transport timeout.  ``retry`` is the
+    :class:`~repro.resilience.transport.RetryPolicy` for each
+    generation's hub; ``group_kwargs`` / ``ddp_kwargs`` forward to the
+    process-group backend and the DDP wrapper.
+    """
+
+    policy: str = "shrink"
+    min_world_size: int = 1
+    max_restarts: int = 5
+    checkpoint_every: int = 1
+    checkpoint_dir: str = "."
+    checkpoint_name: str = "elastic_latest.npz"
+    heartbeat_interval: float = 0.05
+    miss_threshold: float = 0.3
+    grace: float = 2.0
+    backend: str = "gloo"
+    timeout: float = 10.0
+    retry: Optional[RetryPolicy] = None
+    seed: int = 0
+    group_kwargs: Dict = field(default_factory=dict)
+    ddp_kwargs: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.policy not in ("fail", "shrink", "pause_and_wait"):
+            raise ValueError(
+                f"unknown elastic policy {self.policy!r}; "
+                "options: fail, shrink, pause_and_wait"
+            )
+        if self.min_world_size < 1:
+            raise ValueError("min_world_size must be >= 1")
+
+    @property
+    def checkpoint_path(self) -> str:
+        """Full path of the rolling training checkpoint."""
+        return os.path.join(self.checkpoint_dir, self.checkpoint_name)
+
+
+@dataclass
+class ElasticContext:
+    """What a rank thread knows about its place in the elastic run.
+
+    ``rank``/``world_size`` are the *current generation's* coordinates
+    (ranks are renumbered densely after a shrink); ``spot`` is the
+    original rank id from generation 0, stable across generations.
+    """
+
+    rank: int
+    world_size: int
+    generation: int
+    spot: int
+    store: Store
+    namespace: str
+    group: object = None
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of :func:`run_elastic`."""
+
+    completed: bool
+    iterations: int
+    final_world_size: int
+    generations: List[dict]
+    losses: List[float]
+    checkpoint_path: str
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        """Last recorded per-iteration loss (rank 0's), or None."""
+        return self.losses[-1] if self.losses else None
+
+    @property
+    def total_retries(self) -> int:
+        """Transport retries summed over every generation."""
+        return sum(
+            g.get("resilience", {}).get("total_retries", 0)
+            for g in self.generations
+        )
+
+    @property
+    def deaths(self) -> List[int]:
+        """Every spot that died, in generation order."""
+        return [s for g in self.generations for s in g.get("died", [])]
+
+
+def _classify(error: BaseException) -> str:
+    """Death flag kind for a rank-thread exception."""
+    return "died" if isinstance(error, InjectedRankFailure) else "failed"
+
+
+def run_elastic(
+    world_size: int,
+    setup: Callable,
+    step: Callable,
+    total_iterations: int,
+    config: Optional[ElasticConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ElasticResult:
+    """Run an elastic DDP training session and return its outcome.
+
+    Parameters
+    ----------
+    world_size:
+        Initial number of ranks.
+    setup:
+        ``setup(ctx: ElasticContext) -> (module, optimizer)`` — build
+        the *local* model and its optimizer.  Called fresh on every rank
+        in every generation; replicas must construct identically (the
+        DDP wrap broadcasts rank 0's state regardless, and checkpoint
+        restore then overwrites it with the saved trajectory).
+    step:
+        ``step(ctx, model, optimizer, iteration) -> float`` — one
+        training iteration over the DDP-wrapped ``model``; returns the
+        loss.  Shard data by ``ctx.rank`` / ``ctx.world_size``.
+    total_iterations:
+        Global iteration budget; checkpoints carry the cursor across
+        generations, so a shrink resumes where the last save left off.
+    config:
+        :class:`ElasticConfig`; defaults are test-friendly.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`, installed
+        on every generation's hub (rule trigger counts persist across
+        generations, so ``times=1`` means once per *session*).
+    """
+    config = config or ElasticConfig()
+    spots = list(range(world_size))
+    generations: List[dict] = []
+    losses: List[float] = []
+    generation = 0
+
+    while True:
+        if generation > config.max_restarts:
+            raise RankFailedError(
+                spots, generation,
+                f"exceeded max_restarts={config.max_restarts}",
+            )
+        report = _run_generation(
+            generation, spots, setup, step, total_iterations, config,
+            fault_plan,
+        )
+        generations.append(report)
+        losses.extend(report["losses"])
+        if report["completed"]:
+            return ElasticResult(
+                completed=True,
+                iterations=report["end_iteration"],
+                final_world_size=len(spots),
+                generations=generations,
+                losses=losses,
+                checkpoint_path=config.checkpoint_path,
+            )
+
+        died = report["died"]
+        failed = report["failed"]
+        if not died and failed:
+            # A real (non-injected, non-collateral) failure: propagate.
+            spot, error = failed[0]
+            raise RuntimeError(
+                f"rank spot {spot} failed in generation {generation}: {error}"
+            ) from error
+        reason = "; ".join(report["death_reasons"].values()) or "heartbeat lost"
+        if config.policy == "fail":
+            raise RankFailedError(died, generation, reason)
+        if config.policy == "shrink":
+            spots = [s for s in spots if s not in died]
+            if len(spots) < config.min_world_size:
+                raise RankFailedError(
+                    died, generation,
+                    f"only {len(spots)} survivor(s) left, below "
+                    f"min_world_size={config.min_world_size} ({reason})",
+                )
+            logger.warning(
+                "elastic: generation %d lost rank spot(s) %s (%s); "
+                "shrinking to world_size=%d",
+                generation, died, reason, len(spots),
+            )
+        else:  # pause_and_wait: respawn at the original membership.
+            logger.warning(
+                "elastic: generation %d lost rank spot(s) %s (%s); "
+                "restarting at world_size=%d as if replaced",
+                generation, died, reason, len(spots),
+            )
+        generation += 1
+
+
+def _run_generation(
+    generation: int,
+    spots: List[int],
+    setup: Callable,
+    step: Callable,
+    total_iterations: int,
+    config: ElasticConfig,
+    fault_plan: Optional[FaultPlan],
+) -> dict:
+    """Run one generation to completion or first detected death."""
+    world = len(spots)
+    ns = f"elastic/gen{generation}"
+    store = Store(timeout=config.timeout)
+    hub = ReliableTransportHub(
+        world,
+        default_timeout=config.timeout,
+        retry=config.retry,
+        seed=config.seed + generation,
+    )
+    if fault_plan is not None:
+        hub.install_fault_plan(fault_plan)
+    abort_key = f"{ns}/abort"
+    rank0_losses: List[float] = []
+    end_iteration = [0]
+    errors: Dict[int, BaseException] = {}
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        ctx = ElasticContext(
+            rank=rank,
+            world_size=world,
+            generation=generation,
+            spot=spots[rank],
+            store=store,
+            namespace=ns,
+        )
+        set_current_rank(rank)
+        heartbeat = Heartbeat(
+            store, ns, rank, interval=config.heartbeat_interval
+        ).start()
+        try:
+            group = init_process_group(
+                config.backend,
+                store=store,
+                hub=hub,
+                rank=rank,
+                world_size=world,
+                timeout=config.timeout,
+                group_id=f"e{generation}",
+                **config.group_kwargs,
+            )
+            ctx.group = group
+            module, optimizer = setup(ctx)
+
+            from repro.core.ddp import DistributedDataParallel
+
+            model = DistributedDataParallel(
+                module, process_group=group, **config.ddp_kwargs
+            )
+            start = 0
+            if os.path.exists(config.checkpoint_path):
+                info = load_training_checkpoint(
+                    config.checkpoint_path, module, optimizer
+                )
+                start = info["iteration"]
+            if rank == 0:
+                end_iteration[0] = start
+            for iteration in range(start, total_iterations):
+                if store.try_get(abort_key) is not None:
+                    raise _GenerationAborted()
+                loss = step(ctx, model, optimizer, iteration)
+                if rank == 0:
+                    rank0_losses.append(float(loss))
+                    end_iteration[0] = iteration + 1
+                    if (iteration + 1) % config.checkpoint_every == 0:
+                        save_training_checkpoint(
+                            config.checkpoint_path,
+                            module,
+                            optimizer,
+                            iteration=iteration + 1,
+                        )
+            if rank == 0 and end_iteration[0] % config.checkpoint_every:
+                save_training_checkpoint(
+                    config.checkpoint_path, module, optimizer,
+                    iteration=end_iteration[0],
+                )
+            store.set(f"{ns}/done/rank{rank}", True)
+        except _GenerationAborted:
+            store.set(f"{ns}/done/rank{rank}", "aborted")
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            kind = _classify(exc)
+            if kind != "died" and store.try_get(abort_key) is not None:
+                # Collateral damage of the supervisor's hub.close() (or
+                # of the dead peer): this rank is a survivor.
+                store.set(f"{ns}/done/rank{rank}", "aborted")
+            else:
+                with lock:
+                    errors[rank] = exc
+                store.set(
+                    f"{ns}/dead/rank{rank}",
+                    {"kind": kind, "reason": f"{type(exc).__name__}: {exc}"},
+                )
+            # A dead process takes its heartbeat with it.
+            heartbeat.stop()
+        finally:
+            heartbeat.stop()
+            destroy_process_group()
+
+    threads = [
+        threading.Thread(
+            target=runner, args=(r,), name=f"elastic-g{generation}-rank{r}",
+            daemon=True,
+        )
+        for r in range(world)
+    ]
+    monitor = HeartbeatMonitor(
+        store, ns, list(range(world)),
+        miss_threshold=config.miss_threshold, grace=config.grace,
+    )
+    for thread in threads:
+        thread.start()
+
+    aborted = False
+    deadline = time.monotonic() + config.timeout * (4 + total_iterations * 0.5)
+    while any(t.is_alive() for t in threads):
+        time.sleep(0.02)
+        dead_now = _detect_deaths(store, ns, world, monitor)
+        if dead_now and not aborted:
+            store.set(abort_key, {"generation": generation, "died": dead_now})
+            hub.close()
+            aborted = True
+        if time.monotonic() > deadline:
+            store.set(abort_key, {"generation": generation, "died": []})
+            hub.close()
+            aborted = True
+            break
+    for thread in threads:
+        thread.join(timeout=config.timeout)
+    stuck = [t.name for t in threads if t.is_alive()]
+    if stuck:
+        raise TimeoutError(
+            f"elastic generation {generation}: rank thread(s) {stuck} did "
+            "not exit after abort"
+        )
+
+    died_ranks = _detect_deaths(store, ns, world, monitor)
+    death_reasons = {}
+    failed = []
+    for rank, error in sorted(errors.items()):
+        if _classify(error) == "died" or rank in died_ranks:
+            death_reasons[spots[rank]] = f"{type(error).__name__}: {error}"
+        else:
+            failed.append((spots[rank], error))
+    for rank in died_ranks:
+        death_reasons.setdefault(spots[rank], "heartbeat lost")
+    completed = not died_ranks and not failed and all(
+        store.try_get(f"{ns}/done/rank{r}") is True for r in range(world)
+    )
+    hub.close()
+    return {
+        "generation": generation,
+        "world_size": world,
+        "spots": list(spots),
+        "completed": completed,
+        "end_iteration": end_iteration[0],
+        "losses": rank0_losses,
+        "died": sorted(spots[r] for r in died_ranks),
+        "failed": failed,
+        "death_reasons": death_reasons,
+        "resilience": hub.resilience_stats(),
+        "faults": fault_plan.stats() if fault_plan is not None else None,
+    }
+
+
+def _detect_deaths(store, ns: str, world: int, monitor) -> List[int]:
+    """Ranks currently considered dead: explicit flags + stale heartbeats."""
+    dead = []
+    for rank in range(world):
+        flag = store.try_get(f"{ns}/dead/rank{rank}")
+        if flag is not None and flag.get("kind") == "died":
+            dead.append(rank)
+    for rank in monitor.dead_ranks():
+        if rank in dead:
+            continue
+        if store.try_get(f"{ns}/done/rank{rank}") is not None:
+            continue
+        if store.try_get(f"{ns}/dead/rank{rank}") is not None:
+            continue  # flagged "failed": collateral, not a death
+        dead.append(rank)
+    return sorted(dead)

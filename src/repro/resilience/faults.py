@@ -1,0 +1,319 @@
+"""Deterministic, declarative fault injection.
+
+Production DDP stacks treat failures as routine; reproducing that
+requires making failure a *library feature* rather than an ad-hoc test
+fixture.  A :class:`FaultPlan` is a seeded list of :class:`FaultRule`
+entries installed on a :class:`~repro.comm.transport.TransportHub`
+(wire-scoped rules: drop / delay / duplicate / corrupt / crash / slow)
+and picked up by every :class:`~repro.comm.process_group.ProcessGroup`
+sharing the hub (collective-scoped rules: crash a rank as it issues its
+*n*-th matching collective — e.g. exactly at a bucket boundary of a DDP
+backward).
+
+Determinism: probabilistic rules hash ``(seed, rule, src, dst, tag,
+match-count)`` into a uniform draw, so the *same messages* are faulted
+on every run regardless of thread interleaving — a seeded chaos run is
+reproducible.  ``after``/``times`` windows count matches **per edge**
+(per ``(src, dst)`` pair for wire rules, per rank for collective rules)
+for the same reason.
+
+Taxonomy mapping to the paper's failure modes (§3.3, Fig. 3) and to the
+recovery behaviour in this package is tabulated in
+``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Rule scopes.
+WIRE = "wire"
+COLLECTIVE = "collective"
+
+#: Wire-scoped actions.
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+#: Either scope: terminate the matching rank with InjectedRankFailure.
+CRASH_RANK = "crash_rank"
+#: Wire-scoped: add latency to every send from one rank (a straggler).
+SLOW_RANK = "slow_rank"
+
+_ACTIONS = {DROP, DELAY, DUPLICATE, CORRUPT, CRASH_RANK, SLOW_RANK}
+
+
+class InjectedRankFailure(RuntimeError):
+    """A fault plan terminated this rank (simulated process death).
+
+    Raised on the matching rank's own thread — either at a transport
+    ``send`` (wire scope) or as the rank issues a collective (collective
+    scope).  The elastic supervisor treats it as a dead rank and applies
+    the configured degraded-mode policy.
+    """
+
+    def __init__(self, rank: int, reason: str = "injected rank failure"):
+        super().__init__(f"rank {rank}: {reason}")
+        self.rank = rank
+
+
+def _unit(seed: int, *parts) -> float:
+    """Deterministic uniform draw in [0, 1) from hashed identifiers."""
+    blob = repr((seed,) + parts).encode()
+    return zlib.crc32(blob) / 2**32
+
+
+def _corrupt_payload(payload):
+    """Return a perturbed copy of an ndarray payload (others unchanged)."""
+    if isinstance(payload, np.ndarray) and payload.size:
+        corrupted = payload.copy()
+        flat = corrupted.reshape(-1)
+        if np.issubdtype(corrupted.dtype, np.floating):
+            flat[0] += 1000.0
+        else:
+            flat[0] ^= np.array(0x5A, dtype=corrupted.dtype)
+        return corrupted
+    return payload
+
+
+@dataclass
+class FaultRule:
+    """One declarative fault: an action plus match predicates.
+
+    Parameters
+    ----------
+    action:
+        One of ``drop``, ``delay``, ``duplicate``, ``corrupt``,
+        ``crash_rank``, ``slow_rank``.
+    scope:
+        ``"wire"`` (matched against transport sends) or ``"collective"``
+        (matched as a rank issues a collective).  Only ``crash_rank``
+        supports the collective scope.
+    rank:
+        Match only this sending/issuing rank (``None`` = any).
+    dst:
+        Wire scope: match only this destination rank.
+    op:
+        Collective scope: match only this op name (``"allreduce"``...).
+    tag_contains:
+        Wire scope: substring match against ``repr(tag)``.
+    predicate:
+        Extra callable — wire: ``(src, dst, tag) -> bool``; collective:
+        ``(rank, op, seq) -> bool``.
+    probability:
+        Trigger chance per match, drawn deterministically from the
+        plan's seed (see module docstring).
+    after:
+        Skip the first ``after`` matches (per edge) before triggering.
+    times:
+        Trigger at most this many times (per edge); ``None`` = always.
+    delay:
+        Sleep seconds for ``delay``/``slow_rank`` actions.
+    """
+
+    action: str
+    scope: str = WIRE
+    rank: Optional[int] = None
+    dst: Optional[int] = None
+    op: Optional[str] = None
+    tag_contains: Optional[str] = None
+    predicate: Optional[Callable] = None
+    probability: float = 1.0
+    after: int = 0
+    times: Optional[int] = None
+    delay: float = 0.0
+    #: Total trigger count (all edges), maintained by the plan.
+    triggered: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; options: {sorted(_ACTIONS)}")
+        if self.scope not in (WIRE, COLLECTIVE):
+            raise ValueError(f"unknown fault scope {self.scope!r}")
+        if self.scope == COLLECTIVE and self.action != CRASH_RANK:
+            raise ValueError("collective-scoped rules only support crash_rank")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def _matches_wire(self, src: int, dst: int, tag) -> bool:
+        if self.scope != WIRE:
+            return False
+        if self.rank is not None and src != self.rank:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.tag_contains is not None and self.tag_contains not in repr(tag):
+            return False
+        if self.predicate is not None and not self.predicate(src, dst, tag):
+            return False
+        return True
+
+    def _matches_collective(self, rank: int, op: str, seq: int) -> bool:
+        if self.scope != COLLECTIVE:
+            return False
+        if self.rank is not None and rank != self.rank:
+            return False
+        if self.op is not None and op != self.op:
+            return False
+        if self.predicate is not None and not self.predicate(rank, op, seq):
+            return False
+        return True
+
+
+# Declarative constructors — `FaultPlan(rules=[drop(probability=0.01), ...])`.
+def drop(**kwargs) -> FaultRule:
+    """Rule: silently lose matching wire messages."""
+    return FaultRule(DROP, **kwargs)
+
+
+def delay(seconds: float, **kwargs) -> FaultRule:
+    """Rule: add ``seconds`` of latency to matching wire messages."""
+    return FaultRule(DELAY, delay=seconds, **kwargs)
+
+
+def duplicate(**kwargs) -> FaultRule:
+    """Rule: deliver matching wire messages twice."""
+    return FaultRule(DUPLICATE, **kwargs)
+
+
+def corrupt(**kwargs) -> FaultRule:
+    """Rule: perturb the payload of matching wire messages."""
+    return FaultRule(CORRUPT, **kwargs)
+
+
+def crash_rank(rank: int, scope: str = WIRE, **kwargs) -> FaultRule:
+    """Rule: kill ``rank`` at its next matching send or collective."""
+    return FaultRule(CRASH_RANK, scope=scope, rank=rank, **kwargs)
+
+
+def slow_rank(rank: int, seconds: float, **kwargs) -> FaultRule:
+    """Rule: delay every send from ``rank`` (a persistent straggler)."""
+    return FaultRule(SLOW_RANK, rank=rank, delay=seconds, **kwargs)
+
+
+class FaultPlan:
+    """A seeded set of fault rules, installable on hub and groups.
+
+    Thread-safe: rank and communication-worker threads consult the plan
+    concurrently; per-edge match counters are guarded by one lock and
+    probability draws are pure hashes of stable identifiers.
+
+    Usage::
+
+        plan = FaultPlan([drop(probability=0.01),
+                          crash_rank(2, scope="collective", op="allreduce",
+                                     after=7, times=1)], seed=0)
+        hub.install_fault_plan(plan)
+    """
+
+    def __init__(self, rules: List[FaultRule], seed: int = 0):
+        self.rules = list(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        # Per-rule, per-edge match counts: wire edges are (src, dst),
+        # collective "edges" are the issuing rank.
+        self._matches: List[Dict] = [dict() for _ in self.rules]
+        self._fired: List[Dict] = [dict() for _ in self.rules]
+
+    def install(self, hub) -> "FaultPlan":
+        """Install this plan on ``hub`` (returns self for chaining)."""
+        hub.install_fault_plan(self)
+        return self
+
+    # -- internal -------------------------------------------------------
+    def _fire(self, index: int, rule: FaultRule, edge, *hash_parts) -> bool:
+        """Count a match on ``edge`` and decide whether the rule fires."""
+        with self._lock:
+            count = self._matches[index].get(edge, 0)
+            self._matches[index][edge] = count + 1
+            if count < rule.after:
+                return False
+            if rule.times is not None and self._fired[index].get(edge, 0) >= rule.times:
+                return False
+            if rule.probability < 1.0 and _unit(
+                self.seed, index, edge, count, *hash_parts
+            ) >= rule.probability:
+                return False
+            self._fired[index][edge] = self._fired[index].get(edge, 0) + 1
+            rule.triggered += 1
+        return True
+
+    # -- hooks ----------------------------------------------------------
+    def on_send(self, src: int, dst: int, tag, payload, crashable: bool = True):
+        """Filter one wire send; returns the list of payloads to deliver.
+
+        May sleep (delay / slow-rank rules) and may raise
+        :class:`InjectedRankFailure` (wire-scoped crash rules, suppressed
+        when ``crashable`` is False — e.g. for retransmissions serviced
+        on the receiver's thread).
+        """
+        deliveries = [payload]
+        for index, rule in enumerate(self.rules):
+            if not rule._matches_wire(src, dst, tag):
+                continue
+            if not self._fire(index, rule, (src, dst), repr(tag)):
+                continue
+            if rule.action == CRASH_RANK:
+                if crashable:
+                    raise InjectedRankFailure(
+                        src, f"fault plan crashed the rank at send tag={tag!r}"
+                    )
+                continue
+            if rule.action in (DELAY, SLOW_RANK):
+                time.sleep(rule.delay)
+            elif rule.action == DROP:
+                deliveries = []
+            elif rule.action == DUPLICATE:
+                deliveries = deliveries + deliveries
+            elif rule.action == CORRUPT:
+                deliveries = [_corrupt_payload(item) for item in deliveries]
+        return deliveries
+
+    def on_collective(self, rank: int, op: str, seq: int, group_id=None) -> None:
+        """Hook called as ``rank`` issues collective ``op`` at ``seq``.
+
+        Raises :class:`InjectedRankFailure` when a collective-scoped
+        crash rule fires — on the issuing rank's own thread, *before*
+        the collective is queued, which places the death exactly at a
+        chosen bucket boundary of a DDP backward.
+        """
+        for index, rule in enumerate(self.rules):
+            if not rule._matches_collective(rank, op, seq):
+                continue
+            if not self._fire(index, rule, rank, op):
+                continue
+            raise InjectedRankFailure(
+                rank,
+                f"fault plan crashed the rank issuing {op}#{seq}"
+                + (f" (group {group_id})" if group_id is not None else ""),
+            )
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> List[dict]:
+        """Per-rule description and trigger counts (JSON-friendly)."""
+        with self._lock:
+            return [
+                {
+                    "action": rule.action,
+                    "scope": rule.scope,
+                    "rank": rule.rank,
+                    "op": rule.op,
+                    "probability": rule.probability,
+                    "triggered": rule.triggered,
+                }
+                for rule in self.rules
+            ]
+
+    def total_triggered(self) -> int:
+        """Total number of rule firings across the whole plan."""
+        with self._lock:
+            return sum(rule.triggered for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"

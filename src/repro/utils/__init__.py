@@ -2,7 +2,12 @@
 
 from repro.utils.seed import manual_seed, get_rng, fork_rng
 from repro.utils.units import MB, KB, format_bytes, format_seconds
-from repro.utils.checkpoint import save_checkpoint, load_checkpoint
+from repro.utils.checkpoint import (
+    save_checkpoint,
+    load_checkpoint,
+    save_training_checkpoint,
+    load_training_checkpoint,
+)
 from repro.utils.logging import enable_logging, logger
 from repro.utils.rank import get_current_rank, set_current_rank
 

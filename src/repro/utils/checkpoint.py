@@ -3,6 +3,12 @@
 In data parallel training, replicas are identical by construction, so
 checkpointing is a rank-0-only concern: save on rank 0, load everywhere
 (or load before wrapping with DDP and let the constructor broadcast).
+
+:func:`save_training_checkpoint` extends the plain state_dict snapshot
+with optimizer state and the iteration counter — the restart unit the
+elastic supervisor (:mod:`repro.resilience`) restores surviving ranks
+from after a shrink.  Writes are atomic (tmp file + ``os.replace``) so
+a rank dying mid-save can never leave a half-written checkpoint behind.
 """
 
 from __future__ import annotations
@@ -13,15 +19,23 @@ from typing import Dict
 import numpy as np
 
 
+def _atomic_savez(path: str, payload: Dict) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    np.savez(tmp, **payload)
+    # np.savez appends .npz to paths without the suffix.
+    produced = tmp if os.path.exists(tmp) else tmp + ".npz"
+    os.replace(produced, path)
+
+
 def save_checkpoint(path: str, module, extra: Dict | None = None) -> None:
     """Write a model's state_dict (plus optional scalar metadata) as npz."""
     state = module.state_dict()
     payload = {f"state/{name}": value for name, value in state.items()}
     for key, value in (extra or {}).items():
         payload[f"extra/{key}"] = np.asarray(value)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez(path, **payload)
+    _atomic_savez(path, payload)
 
 
 def load_checkpoint(path: str, module) -> Dict:
@@ -39,3 +53,56 @@ def load_checkpoint(path: str, module) -> Dict:
         }
     module.load_state_dict(state)
     return extra
+
+
+def save_training_checkpoint(
+    path: str,
+    module,
+    optimizer=None,
+    iteration: int = 0,
+    extra: Dict | None = None,
+) -> None:
+    """Atomically write model + optimizer state + iteration counter.
+
+    The optimizer's per-parameter state (momentum buffers, Adam
+    moments) is flattened as ``opt/{index}/{key}`` arrays; restoring it
+    is what keeps a resumed run on the same optimization trajectory.
+    """
+    payload = {
+        f"state/{name}": value for name, value in module.state_dict().items()
+    }
+    if optimizer is not None:
+        for index, per_param in optimizer.state_dict()["state"].items():
+            for key, value in per_param.items():
+                payload[f"opt/{index}/{key}"] = np.asarray(value)
+    payload["meta/iteration"] = np.asarray(int(iteration))
+    for key, value in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(value)
+    _atomic_savez(path, payload)
+
+
+def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
+    """Restore a :func:`save_training_checkpoint` file.
+
+    Loads model state into ``module`` and (when given) optimizer state
+    into ``optimizer``; returns ``{"iteration": int, "extra": dict}``.
+    """
+    with np.load(path) as data:
+        state = {}
+        opt_state: Dict[int, Dict] = {}
+        extra = {}
+        iteration = 0
+        for key in data.files:
+            if key.startswith("state/"):
+                state[key[len("state/"):]] = data[key]
+            elif key.startswith("opt/"):
+                _, index, name = key.split("/", 2)
+                opt_state.setdefault(int(index), {})[name] = data[key]
+            elif key == "meta/iteration":
+                iteration = int(data[key])
+            elif key.startswith("extra/"):
+                extra[key[len("extra/"):]] = data[key]
+    module.load_state_dict(state)
+    if optimizer is not None:
+        optimizer.load_state_dict({"state": opt_state})
+    return {"iteration": iteration, "extra": extra}

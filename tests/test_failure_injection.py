@@ -3,6 +3,12 @@
 Distributed failures in real deployments surface as NCCL timeouts or
 silent hangs; these tests verify the library turns each injected fault
 into a *diagnosable* error rather than a deadlock or corruption.
+
+Faults are injected through the first-class :class:`FaultPlan` API
+(``repro.resilience``) installed on a plain ``TransportHub`` — the
+*unreliable* wire.  ``tests/test_resilience.py`` covers the same faults
+on the retrying :class:`ReliableTransportHub`, where they are absorbed
+instead of fatal.
 """
 
 import threading
@@ -18,52 +24,9 @@ from repro.comm.transport import TransportHub, TransportTimeoutError
 from repro.comm import algorithms as alg
 from repro.core import DistributedDataParallel
 from repro.optim import SGD
+from repro.resilience import FaultPlan, corrupt, drop, slow_rank
 
 from conftest import run_world, small_classifier
-
-
-class DroppingHub(TransportHub):
-    """Drops the nth send matching a predicate."""
-
-    def __init__(self, world_size, drop_when, **kwargs):
-        super().__init__(world_size, **kwargs)
-        self._drop_when = drop_when
-        self.dropped = 0
-
-    def send(self, src, dst, tag, payload):
-        if self._drop_when(src, dst, tag, self.dropped):
-            self.dropped += 1
-            return  # silently lost on the wire
-        super().send(src, dst, tag, payload)
-
-
-class DelayingHub(TransportHub):
-    """Adds latency to every send from a straggler rank."""
-
-    def __init__(self, world_size, slow_rank, delay, **kwargs):
-        super().__init__(world_size, **kwargs)
-        self._slow_rank = slow_rank
-        self._delay = delay
-
-    def send(self, src, dst, tag, payload):
-        if src == self._slow_rank:
-            time.sleep(self._delay)
-        super().send(src, dst, tag, payload)
-
-
-class CorruptingHub(TransportHub):
-    """Flips values in the first payload between a rank pair."""
-
-    def __init__(self, world_size, **kwargs):
-        super().__init__(world_size, **kwargs)
-        self._corrupted = False
-
-    def send(self, src, dst, tag, payload):
-        if not self._corrupted and isinstance(payload, np.ndarray) and payload.size:
-            payload = payload.copy()
-            payload.reshape(-1)[0] += 1000.0
-            self._corrupted = True
-        super().send(src, dst, tag, payload)
 
 
 def _run_on_hub(hub, world, fn, timeout=15):
@@ -87,11 +50,8 @@ def _run_on_hub(hub, world, fn, timeout=15):
 class TestMessageLoss:
     def test_dropped_message_times_out_with_rank_info(self):
         """A lost ring chunk must surface as a timeout naming the peer."""
-        hub = DroppingHub(
-            2,
-            drop_when=lambda src, dst, tag, n: n == 0 and src == 0,
-            default_timeout=0.3,
-        )
+        hub = TransportHub(2, default_timeout=0.3)
+        FaultPlan([drop(rank=0, times=1)]).install(hub)
 
         def body(h, rank):
             buf = np.ones(8)
@@ -105,11 +65,8 @@ class TestMessageLoss:
         assert "rank" in message and "timed out" in message
 
     def test_drop_in_broadcast_detected(self):
-        hub = DroppingHub(
-            4,
-            drop_when=lambda src, dst, tag, n: n == 0 and "bc" in str(tag),
-            default_timeout=0.3,
-        )
+        hub = TransportHub(4, default_timeout=0.3)
+        plan = FaultPlan([drop(tag_contains="bc", times=1)]).install(hub)
 
         def body(h, rank):
             buf = np.full(4, float(rank))
@@ -118,11 +75,13 @@ class TestMessageLoss:
 
         _, errors = _run_on_hub(hub, 4, body)
         assert errors  # someone noticed
+        assert plan.total_triggered() >= 1
 
 
 class TestStragglers:
     def test_slow_rank_delays_but_does_not_break_collectives(self):
-        hub = DelayingHub(3, slow_rank=2, delay=0.05, default_timeout=10)
+        hub = TransportHub(3, default_timeout=10)
+        FaultPlan([slow_rank(2, 0.05)]).install(hub)
 
         def body(h, rank):
             buf = np.full(4, float(rank + 1))
@@ -142,8 +101,6 @@ class TestStragglers:
         """DDP semantics are unaffected by timing skew — only latency."""
         rng = np.random.default_rng(0)
         X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
-        hub = DelayingHub(2, slow_rank=1, delay=0.01, default_timeout=10)
-        from repro.comm import Store
 
         def body(rank):
             model = small_classifier()
@@ -157,18 +114,20 @@ class TestStragglers:
                 opt.step()
             return ddp.state_dict()
 
-        states = run_distributed(2, body, backend="gloo", hub=hub, store=Store(timeout=10))
+        states = run_distributed(
+            2, body, backend="gloo", timeout=10,
+            fault_plan=FaultPlan([slow_rank(1, 0.01)]),
+        )
         for name in states[0]:
             assert np.array_equal(states[0][name], states[1][name])
 
 
 class TestCorruption:
     def test_corrupted_payload_breaks_replica_agreement(self):
-        """Silent on-the-wire corruption is observable as replica
-        divergence — the invariant monitoring should check for this."""
-        hub = CorruptingHub(2, default_timeout=5)
-        from repro.comm import Store
-
+        """On the plain (non-checksumming) hub, silent on-the-wire
+        corruption is observable only as replica divergence — the
+        invariant monitoring should check for this.  The reliable hub
+        detects the same fault via checksums (test_resilience.py)."""
         rng = np.random.default_rng(0)
         X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
 
@@ -183,7 +142,10 @@ class TestCorruption:
             opt.step()
             return ddp.state_dict()
 
-        states = run_distributed(2, body, backend="gloo", hub=hub, store=Store(timeout=5))
+        states = run_distributed(
+            2, body, backend="gloo", timeout=5,
+            fault_plan=FaultPlan([corrupt(times=1)]),
+        )
         diverged = any(
             not np.array_equal(states[0][name], states[1][name]) for name in states[0]
         )

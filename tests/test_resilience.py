@@ -1,0 +1,301 @@
+"""Fault plans, the retrying transport, heartbeats, and checkpoints.
+
+The chaos seed is taken from ``REPRO_CHAOS_SEED`` (default 0) so CI can
+sweep several seeds over the same suite — every probabilistic fault
+draw is a pure hash of (seed, rule, edge, count), making each seeded
+run exactly reproducible.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.comm import Store, run_distributed
+from repro.comm.process_group import CollectiveTimeoutError, Work
+from repro.comm.transport import TransportHub, TransportTimeoutError
+from repro.core import DistributedDataParallel
+from repro.debug.flight_recorder import FAILED, FlightRecorder
+from repro.optim import SGD
+from repro.resilience import (
+    FaultPlan,
+    Heartbeat,
+    HeartbeatMonitor,
+    ReliableTransportHub,
+    RetryBudgetExceededError,
+    RetryPolicy,
+    corrupt,
+    crash_rank,
+    drop,
+    duplicate,
+)
+from repro.resilience.faults import InjectedRankFailure
+from repro.utils import load_training_checkpoint, save_training_checkpoint
+
+from conftest import small_classifier
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+class TestFaultPlan:
+    def test_same_seed_same_faults(self):
+        """Probabilistic rules are reproducible: identical plans fault
+        identical messages regardless of call interleaving."""
+
+        def run(seed):
+            plan = FaultPlan([drop(probability=0.3)], seed=seed)
+            return [
+                len(plan.on_send(0, 1, ("t", i), np.ones(2))) == 0
+                for i in range(64)
+            ]
+
+        assert run(CHAOS_SEED) == run(CHAOS_SEED)
+
+    def test_after_and_times_windows(self):
+        plan = FaultPlan([drop(after=2, times=3)], seed=0)
+        dropped = [
+            len(plan.on_send(0, 1, "t", np.ones(1))) == 0 for i in range(10)
+        ]
+        # Skips the first 2 matches, fires exactly 3 times, then stops.
+        assert dropped == [False, False, True, True, True] + [False] * 5
+
+    def test_windows_are_per_edge(self):
+        plan = FaultPlan([drop(times=1)], seed=0)
+        assert plan.on_send(0, 1, "t", np.ones(1)) == []
+        assert plan.on_send(2, 3, "t", np.ones(1)) == []  # separate edge
+        assert len(plan.on_send(0, 1, "t", np.ones(1))) == 1
+
+    def test_times_caps_firings_not_matches(self):
+        """With probability < 1, ``times`` bounds actual triggers."""
+        plan = FaultPlan([drop(probability=0.4, times=2)], seed=CHAOS_SEED)
+        drops = sum(
+            len(plan.on_send(0, 1, ("t", i), np.ones(1))) == 0
+            for i in range(100)
+        )
+        assert drops == 2
+
+    def test_collective_crash_rule(self):
+        plan = FaultPlan([crash_rank(1, scope="collective", op="allreduce",
+                                     after=2, times=1)])
+        for seq in range(2):
+            plan.on_collective(1, "allreduce", seq)  # inside `after` window
+        plan.on_collective(0, "allreduce", 2)  # other rank: no match
+        with pytest.raises(InjectedRankFailure):
+            plan.on_collective(1, "allreduce", 2)
+        plan.on_collective(1, "allreduce", 3)  # times=1: fired already
+
+    def test_collective_scope_rejects_non_crash_actions(self):
+        with pytest.raises(ValueError, match="crash_rank"):
+            FaultPlan([drop(scope="collective")])
+
+
+class TestReliableTransport:
+    def test_retries_absorb_seeded_drops(self):
+        """Every dropped message is recovered by retransmission — the
+        stream arrives complete, in order, with retry counters > 0."""
+        hub = ReliableTransportHub(
+            2, default_timeout=5.0,
+            retry=RetryPolicy(base_backoff=0.001), seed=CHAOS_SEED,
+        )
+        plan = FaultPlan([drop(probability=0.5)], seed=CHAOS_SEED).install(hub)
+        for i in range(20):
+            hub.send(0, 1, "t", np.full(4, float(i)))
+        for i in range(20):
+            out = hub.recv(1, 0, "t", timeout=5.0)
+            assert np.allclose(out, float(i))
+        stats = hub.resilience_stats()
+        assert plan.total_triggered() > 0
+        assert stats["total_retries"] > 0
+        assert stats["total_retransmits"] > 0
+
+    def test_duplicates_are_deduplicated(self):
+        hub = ReliableTransportHub(2, default_timeout=2.0)
+        FaultPlan([duplicate()]).install(hub)
+        for i in range(5):
+            hub.send(0, 1, "t", np.full(2, float(i)))
+        for i in range(5):
+            assert np.allclose(hub.recv(1, 0, "t"), float(i))
+        assert hub.resilience_stats()["total_duplicates_dropped"] >= 1
+
+    def test_corruption_detected_by_checksum_and_recovered(self):
+        hub = ReliableTransportHub(2, default_timeout=2.0)
+        FaultPlan([corrupt(times=1)]).install(hub)
+        original = np.arange(8, dtype=np.float64)
+        hub.send(0, 1, "t", original)
+        out = hub.recv(1, 0, "t")
+        # The corrupted delivery was rejected and the retransmitted
+        # original delivered — not silently handed to the caller.
+        assert np.array_equal(out, original)
+        assert hub.resilience_stats()["total_corrupt_detected"] == 1
+
+    def test_retry_budget_exhaustion_fails_fast(self):
+        hub = ReliableTransportHub(
+            2, default_timeout=30.0,
+            retry=RetryPolicy(base_backoff=0.001, budget_per_collective=5),
+        )
+        FaultPlan([drop(rank=0, probability=1.0)]).install(hub)
+        hub.send(0, 1, "t", np.ones(2))
+        with pytest.raises(RetryBudgetExceededError, match="retry budget"):
+            hub.recv(1, 0, "t", timeout=30.0)
+        # Subclasses TransportTimeoutError: existing handling applies.
+        assert issubclass(RetryBudgetExceededError, TransportTimeoutError)
+
+    def test_plain_hub_has_no_reliability_overhead_path(self):
+        """The base hub stays envelope-free (zero-copy hot path)."""
+        hub = TransportHub(2)
+        payload = np.ones(4)
+        hub.send(0, 1, "t", payload)
+        assert hub.recv(1, 0, "t") is payload
+
+    def test_ddp_chaos_run_stays_in_lockstep(self):
+        """DDP over the reliable hub under seeded drops: replicas agree
+        bit-for-bit and the absorbed drops show up in ddp_stats()."""
+        rng = np.random.default_rng(0)
+        X, Y = rng.standard_normal((8, 6)), rng.integers(0, 4, 8)
+        hub = ReliableTransportHub(
+            2, default_timeout=10.0,
+            retry=RetryPolicy(base_backoff=0.001), seed=CHAOS_SEED,
+        )
+        plan = FaultPlan([drop(probability=0.05)], seed=CHAOS_SEED)
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.0001)
+            opt = SGD(ddp.parameters(), lr=0.05)
+            loss_fn = nn.CrossEntropyLoss()
+            shard = slice(rank * 4, (rank + 1) * 4)
+            for _ in range(3):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                opt.step()
+            return ddp.state_dict(), ddp.ddp_stats()["resilience"]
+
+        results = run_distributed(
+            2, body, backend="gloo", timeout=10, hub=hub,
+            store=Store(timeout=10), fault_plan=plan,
+        )
+        states = [state for state, _ in results]
+        for name in states[0]:
+            assert np.array_equal(states[0][name], states[1][name])
+        resilience = results[0][1]
+        assert resilience is not None
+        if plan.total_triggered():
+            assert resilience["total_retries"] > 0
+
+
+class TestWorkWaitTimeout:
+    def test_wait_timeout_marks_work_failed(self):
+        work = Work("allreduce#3")
+        with pytest.raises(CollectiveTimeoutError, match="caller-side wait"):
+            work.wait(timeout=0.01)
+        assert work.is_completed()
+        # The failure sticks: later waits re-raise it.
+        with pytest.raises(CollectiveTimeoutError):
+            work.wait(timeout=0.01)
+
+    def test_wait_timeout_fails_flight_record(self):
+        recorder = FlightRecorder(rank=0)
+        record = recorder.record_scheduled(seq=3, op="allreduce", group_id=0)
+        recorder.mark_started(record)
+        work = Work("allreduce#3")
+        work._debug_record = record
+        with pytest.raises(CollectiveTimeoutError):
+            work.wait(timeout=0.01)
+        assert record.state == FAILED
+        assert "caller-side wait" in record.error
+
+    def test_worker_success_wins_race_against_timeout(self):
+        """First completion wins: a worker finishing as the caller's
+        wait expires keeps its successful result."""
+        work = Work("allreduce#4")
+        work._complete(None)
+        work.wait(timeout=0.0)  # does not raise: success already landed
+        assert work._error is None
+
+
+class TestStoreLifecycle:
+    def test_group_namespace_cleaned_after_shutdown(self):
+        """A run leaves no per-seq signature / watchdog / barrier keys —
+        long elastic sessions must not grow the store without bound."""
+        store = Store(timeout=10)
+
+        def body(rank):
+            model = small_classifier()
+            ddp = DistributedDataParallel(model, bucket_cap_mb=0.0001)
+            loss_fn = nn.CrossEntropyLoss()
+            rng = np.random.default_rng(0)
+            X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
+            shard = slice(rank * 2, (rank + 1) * 2)
+            loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+
+        run_distributed(2, body, backend="gloo", timeout=10, store=store)
+        for prefix in ("pg0/", "pgdebug/0/", "mb/0/", "ddpchk/0/", "pgfini/0/"):
+            assert store.keys(prefix) == [], f"leaked keys under {prefix}"
+
+    def test_delete_prefix(self):
+        store = Store()
+        store.set("a/1", 1)
+        store.set("a/2", 2)
+        store.set("b/1", 3)
+        assert store.delete_prefix("a/") == 2
+        assert store.keys() == ["b/1"]
+
+
+class TestHeartbeat:
+    def test_monitor_detects_stopped_heartbeat(self):
+        store = Store()
+        beat = Heartbeat(store, "hb-test", 0, interval=0.02).start()
+        monitor = HeartbeatMonitor(
+            store, "hb-test", [0], miss_threshold=0.15, grace=0.5
+        )
+        time.sleep(0.05)
+        assert monitor.dead_ranks() == []
+        beat.stop()
+        time.sleep(0.3)
+        assert monitor.dead_ranks() == [0]
+
+    def test_never_started_rank_dead_only_after_grace(self):
+        store = Store()
+        monitor = HeartbeatMonitor(
+            store, "hb-test2", [0, 1], miss_threshold=0.05, grace=0.2
+        )
+        Heartbeat(store, "hb-test2", 0, interval=0.02).start()
+        assert 1 not in monitor.dead_ranks()  # inside the grace window
+        time.sleep(0.3)
+        assert monitor.dead_ranks() == [1]
+
+
+class TestTrainingCheckpoint:
+    def test_roundtrip_restores_model_optimizer_iteration(self, tmp_path):
+        from repro.optim import Adam
+
+        path = str(tmp_path / "ckpt.npz")
+        model = small_classifier(seed=3)
+        opt = Adam(model.parameters(), lr=0.01)
+        rng = np.random.default_rng(0)
+        X, Y = rng.standard_normal((4, 6)), rng.integers(0, 4, 4)
+        loss_fn = nn.CrossEntropyLoss()
+        for _ in range(2):
+            opt.zero_grad()
+            loss_fn(model(Tensor(X)), Y).backward()
+            opt.step()
+        save_training_checkpoint(path, model, opt, iteration=2)
+
+        fresh = small_classifier(seed=11)  # different weights
+        fresh_opt = Adam(fresh.parameters(), lr=0.01)
+        info = load_training_checkpoint(path, fresh, fresh_opt)
+        assert info["iteration"] == 2
+        for (name, theirs) in fresh.state_dict().items():
+            assert np.array_equal(theirs, model.state_dict()[name])
+        # One more identical step on both stays in lockstep — only true
+        # if Adam's moments and step count were restored too.
+        for m, o in ((model, opt), (fresh, fresh_opt)):
+            o.zero_grad()
+            loss_fn(m(Tensor(X)), Y).backward()
+            o.step()
+        for (name, theirs) in fresh.state_dict().items():
+            assert np.allclose(theirs, model.state_dict()[name])
