@@ -15,6 +15,7 @@ import time
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: World sizes used by the scalability experiments (paper Fig. 9/10).
@@ -70,8 +71,20 @@ def emit_json(name: str, payload: dict, path: str | None = None) -> str:
     up) with a common envelope — bench name, unix timestamp, python and
     platform strings — wrapped around the bench-specific ``payload``.
     Returns the written path.
+
+    Baseline mode: with ``REPRO_BENCH_BASELINE=1`` in the environment
+    (and no explicit ``path``), the result is written to
+    ``benchmarks/baselines/<name>.json`` instead — the committed
+    reference that ``tools/perfguard.py`` compares fresh runs against —
+    so blessing a new baseline never clobbers the repo-root BENCH files.
     """
-    target = path or os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    if path is None and os.environ.get("REPRO_BENCH_BASELINE", "").lower() in (
+        "1", "true", "on", "yes",
+    ):
+        os.makedirs(BASELINES_DIR, exist_ok=True)
+        target = os.path.join(BASELINES_DIR, f"{name}.json")
+    else:
+        target = path or os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     document = {
         "bench": name,
         "created_unix": time.time(),

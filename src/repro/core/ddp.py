@@ -405,7 +405,18 @@ class DistributedDataParallel(Module):
             "last_iteration": dict(reducer.last_iteration_stats),
             "debug": self._debug_stats(),
             "resilience": self._resilience_stats(),
+            "profile": self._profile_stats(detail),
         }
+
+    def _profile_stats(self, detail: dict) -> Optional[dict]:
+        """Critical-path attribution of the last synchronized iteration:
+        overlap ratio, exposed-comm time, and the top-3 blame buckets
+        (None before the first sync).  Built from the recorder's coarse
+        clock, so it works with telemetry disabled."""
+        from repro.telemetry.observatory import profile_from_detail
+
+        profile = profile_from_detail(detail, rank=self.process_group.global_rank)
+        return profile.summary(top=3) if profile is not None else None
 
     def _resilience_stats(self) -> Optional[dict]:
         """Transport retry/dedup/corruption counters, when the group runs

@@ -448,6 +448,11 @@ class Reducer:
                 bucket.work = self.process_group.allreduce(
                     bucket.tensor, ReduceOp.SUM, async_op=True
                 )
+        # Tag the collective with its bucket so comm spans and flight
+        # records attribute to a reducer bucket in the merged timeline.
+        meta = getattr(bucket.work, "meta", None)
+        if meta is not None:
+            meta.setdefault("bucket", bucket.spec.index)
 
     def _finalize_backward(self) -> None:
         """Wait for communication, average, and write gradients back.

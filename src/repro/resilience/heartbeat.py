@@ -19,6 +19,8 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.telemetry.spans import TRACER
+
 
 def heartbeat_key(namespace: str, rank: int) -> str:
     """Store key carrying one rank's heartbeat."""
@@ -46,6 +48,14 @@ class Heartbeat:
             heartbeat_key(self.namespace, self.rank),
             {"beat": self.beats, "time": time.monotonic()},
         )
+        if TRACER.enabled:
+            # Instant marker on the merged timeline's resilience row.
+            now = time.perf_counter()
+            TRACER.record(
+                "heartbeat", now, now, cat="resilience", stream="resilience",
+                rank=self.rank,
+                args={"beat": self.beats, "namespace": self.namespace},
+            )
 
     def start(self) -> "Heartbeat":
         """Publish a first beat and start the background thread."""

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 import zlib
 from collections import deque
 from dataclasses import dataclass
@@ -110,6 +111,18 @@ class _Envelope:
 
     def __repr__(self) -> str:
         return f"<Envelope seq={self.seq} nbytes={self.nbytes}>"
+
+
+def _mark(rank: int, event: str, **args: Any) -> None:
+    """Drop a zero-duration resilience span on ``rank``'s timeline.
+
+    The merged Chrome trace (``export_merged_trace``) renders these as
+    instant markers on a dedicated ``resilience`` row, lined up under
+    the collective they delayed.  Callers gate on ``TRACER.enabled``.
+    """
+    now = time.perf_counter()
+    TRACER.record(event, now, now, cat="resilience", stream="resilience",
+                  rank=rank, args=args)
 
 
 def _collective_key(tag: Hashable) -> Hashable:
@@ -209,6 +222,7 @@ class ReliableTransportHub(TransportHub):
             self.retransmits[dst] += 1
         if TRACER.enabled:
             registry_for(dst).counter("transport.retransmits").add(1)
+            _mark(dst, "retransmit", seq=seq, src=src)
         return True
 
     # -- receiving ------------------------------------------------------
@@ -228,6 +242,7 @@ class ReliableTransportHub(TransportHub):
             self._budget_used[ckey] = used
         if TRACER.enabled:
             registry_for(dst).counter("transport.retries").add(1)
+            _mark(dst, "retry", collective=repr(_collective_key(tag)), used=used)
         return used
 
     def recv(self, dst: int, src: int, tag: Hashable, timeout: float | None = None) -> Any:
@@ -310,6 +325,7 @@ class ReliableTransportHub(TransportHub):
                     self.duplicates_dropped[dst] += 1
                 if TRACER.enabled:
                     registry_for(dst).counter("transport.duplicates_dropped").add(1)
+                    _mark(dst, "duplicate_dropped", seq=envelope.seq, src=src)
                 continue
             if (
                 policy.verify_checksums
@@ -320,6 +336,7 @@ class ReliableTransportHub(TransportHub):
                     self.corrupt_detected[dst] += 1
                 if TRACER.enabled:
                     registry_for(dst).counter("transport.corrupt_detected").add(1)
+                    _mark(dst, "corrupt_detected", seq=envelope.seq, src=src)
                 self._retransmit(key, envelope.seq)
                 continue
             if envelope.seq > expected:

@@ -39,7 +39,12 @@ from __future__ import annotations
 
 import os
 
-from repro.telemetry.chrome_trace import export_chrome_trace, trace_events
+from repro.telemetry.chrome_trace import (
+    export_chrome_trace,
+    export_merged_trace,
+    merged_trace_events,
+    trace_events,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -63,6 +68,16 @@ from repro.telemetry.spans import (
     span,
 )
 from repro.telemetry.straggler import StragglerReport, detect_stragglers
+from repro.telemetry.observatory import (
+    CriticalPathProfiler,
+    IterationProfile,
+    MetricsSampler,
+    PrometheusExporter,
+    profile_from_detail,
+    prometheus_text,
+    start_exporter,
+)
+from repro.telemetry.observatory.exporter import maybe_start_from_env
 
 
 def get_metrics(rank=None) -> MetricsRegistry:
@@ -78,10 +93,14 @@ def reset() -> None:
 
 __all__ = [
     "Counter",
+    "CriticalPathProfiler",
     "Gauge",
     "Histogram",
+    "IterationProfile",
     "IterationRecorder",
     "MetricsRegistry",
+    "MetricsSampler",
+    "PrometheusExporter",
     "Span",
     "SpanRecord",
     "SpanTracer",
@@ -93,16 +112,26 @@ __all__ = [
     "disable",
     "enable",
     "export_chrome_trace",
+    "export_merged_trace",
     "get_metrics",
     "get_tracer",
     "is_enabled",
+    "maybe_start_from_env",
     "merge_snapshots",
+    "merged_trace_events",
+    "profile_from_detail",
+    "prometheus_text",
     "registry_for",
     "reset",
     "span",
+    "start_exporter",
     "trace_events",
     "work_interval",
 ]
 
 if os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "on", "yes"):
     enable()
+
+# REPRO_METRICS_PORT=<port> serves /metrics for the whole run (and
+# implies telemetry on — a scrape endpoint without data is useless).
+maybe_start_from_env()

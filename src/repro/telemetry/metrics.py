@@ -28,6 +28,28 @@ from typing import Dict, Iterable, List, Optional
 HISTOGRAM_SAMPLE_CAPACITY = 1024
 
 
+def percentile_of(ordered: List[float], q: float) -> float:
+    """q-th percentile (0..100) of pre-sorted samples, with linear
+    interpolation between adjacent samples (numpy's default method).
+
+    Nearest-rank truncation is fine for p50 over a thousand samples but
+    systematically misstates tail percentiles over small pools — a p99
+    over 10 samples must interpolate between the two largest, not snap
+    to one of them.
+    """
+    if not ordered:
+        raise ValueError("percentile of empty sample pool")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    position = min(max(position, 0.0), float(len(ordered) - 1))
+    lower = int(position)
+    fraction = position - lower
+    if fraction == 0.0 or lower + 1 >= len(ordered):
+        return ordered[lower]
+    return ordered[lower] + fraction * (ordered[lower + 1] - ordered[lower])
+
+
 class Counter:
     """Monotonically increasing count (events, bytes, launches)."""
 
@@ -101,13 +123,12 @@ class Histogram:
         return self._count
 
     def percentile(self, q: float) -> Optional[float]:
-        """Approximate q-th percentile (0..100) from recent samples."""
+        """Interpolated q-th percentile (0..100) from recent samples."""
         with self._lock:
             samples = sorted(self._samples)
         if not samples:
             return None
-        index = min(len(samples) - 1, max(0, round(q / 100.0 * (len(samples) - 1))))
-        return samples[index]
+        return percentile_of(samples, q)
 
     def summary(self) -> Dict[str, float]:
         with self._lock:
@@ -116,21 +137,17 @@ class Histogram:
             samples = list(self._samples)
         if count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-                    "p50": 0.0, "p95": 0.0, "samples": []}
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "samples": []}
         ordered = sorted(samples)
-
-        def pct(q: float) -> float:
-            index = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
-            return ordered[index]
-
         return {
             "count": count,
             "sum": total,
             "min": lo,
             "max": hi,
             "mean": total / count,
-            "p50": pct(50),
-            "p95": pct(95),
+            "p50": percentile_of(ordered, 50),
+            "p95": percentile_of(ordered, 95),
+            "p99": percentile_of(ordered, 99),
             "samples": samples,
         }
 
@@ -225,7 +242,15 @@ def clear_all_registries() -> None:
 
 
 def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
-    """Aggregate per-rank snapshots into one cross-rank view."""
+    """Aggregate per-rank snapshots into one cross-rank view.
+
+    Histograms are merged at the **sample-pool** level: every rank's
+    retained samples join one pool and the cross-rank p50/p95/p99 are
+    interpolated over that pool — a cross-rank p99 computed from data,
+    never an average of per-rank percentiles (which would understate the
+    tail whenever one rank is the slow one).  ``samples_pooled`` reports
+    how many samples backed the estimate.
+    """
     merged: Dict[str, Dict] = {"ranks": [], "counters": {}, "gauges": {},
                                "histograms": {}}
     for snap in snapshots:
@@ -254,11 +279,13 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
     for entry in merged["histograms"].values():
         entry["mean"] = entry["sum"] / entry["count"] if entry["count"] else 0.0
         ordered = sorted(entry.pop("samples"))
+        entry["samples_pooled"] = len(ordered)
         if ordered:
-            entry["p50"] = ordered[min(len(ordered) - 1, round(0.50 * (len(ordered) - 1)))]
-            entry["p95"] = ordered[min(len(ordered) - 1, round(0.95 * (len(ordered) - 1)))]
+            entry["p50"] = percentile_of(ordered, 50)
+            entry["p95"] = percentile_of(ordered, 95)
+            entry["p99"] = percentile_of(ordered, 99)
         else:
-            entry["p50"] = entry["p95"] = 0.0
+            entry["p50"] = entry["p95"] = entry["p99"] = 0.0
         if entry["count"] == 0:
             entry["min"] = entry["max"] = 0.0
     return merged

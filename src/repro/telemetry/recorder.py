@@ -143,6 +143,11 @@ class IterationRecorder:
                         else 0.0
                     ),
                     "allreduce_latency_s": end - start,
+                    # Raw perf_counter endpoints, so the critical-path
+                    # profiler can re-derive hidden/exposed portions
+                    # without loading a trace.
+                    "comm_start": start,
+                    "comm_end": end,
                 }
             )
         self.last_detail = {
@@ -152,6 +157,14 @@ class IterationRecorder:
             "comm_hidden_s": hidden,
             "comm_compute_overlap_ratio": overlap_ratio,
             "buckets": buckets_detail,
+            # Phase boundary timestamps (perf_counter seconds), the same
+            # clock the span tracer uses.
+            "timestamps": {
+                "prepare": self.t_prepare,
+                "first_grad": t_first,
+                "all_grads": t_all,
+                "done": t_done,
+            },
         }
 
         if TRACER.enabled:

@@ -1,0 +1,494 @@
+"""Performance observatory: sampler, exporter, profiler, merged timeline.
+
+Covers the observatory acceptance surface: pooled-sample percentile
+merging, time-series sampling with cross-rank aggregation (including
+the teardown flush and the latency step under an injected straggler),
+a Prometheus exposition that passes a line-format checker and a live
+scrape, critical-path attribution that sums to measured iteration wall
+time within 2% and agrees with the recorder's overlap ratio, and the
+merged spans + flight-recorder + resilience Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from conftest import run_world
+from repro import nn, optim, telemetry
+from repro.autograd import Tensor
+from repro.core import DistributedDataParallel
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    percentile_of,
+    registry_for,
+)
+from repro.telemetry.observatory import (
+    CriticalPathProfiler,
+    MetricsSampler,
+    profile_from_detail,
+    prometheus_text,
+    start_exporter,
+)
+from repro.utils import manual_seed
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with telemetry off and empty."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _train_ddp(rank, iterations=3, width=64, bucket_cap_mb=0.02):
+    """One rank of a real multi-bucket DDP training loop."""
+    manual_seed(0)
+    net = nn.Sequential(
+        nn.Linear(32, width), nn.ReLU(), nn.Linear(width, width), nn.ReLU(),
+        nn.Linear(width, 8)
+    )
+    ddp = DistributedDataParallel(net, bucket_cap_mb=bucket_cap_mb)
+    opt = optim.SGD(ddp.parameters(), lr=0.01)
+    rng = np.random.default_rng(rank)
+    for _ in range(iterations):
+        inp = Tensor(rng.standard_normal((16, 32)))
+        exp = rng.integers(0, 8, 16)
+        opt.zero_grad()
+        nn.CrossEntropyLoss()(ddp(inp), exp).backward()
+        opt.step()
+    return ddp
+
+
+# ----------------------------------------------------------------------
+# interpolated percentiles + pooled cross-rank merge
+# ----------------------------------------------------------------------
+class TestPercentiles:
+    def test_percentile_interpolates_between_samples(self):
+        # Two samples: p50 must be the midpoint, not either endpoint.
+        assert percentile_of([0.0, 10.0], 50) == pytest.approx(5.0)
+        # Matches numpy's default (linear) method on a bigger pool.
+        pool = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.8, 9.7, 9.3])
+        for q in (50, 90, 95, 99):
+            assert percentile_of(pool, q) == pytest.approx(
+                float(np.percentile(pool, q))
+            )
+
+    def test_histogram_summary_interpolates(self):
+        registry = MetricsRegistry(rank=0)
+        hist = registry.histogram("lat")
+        for value in range(1, 11):  # 1..10
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(5.5)
+        assert summary["p95"] == pytest.approx(float(np.percentile(range(1, 11), 95)))
+        assert summary["p99"] == pytest.approx(float(np.percentile(range(1, 11), 99)))
+
+    def test_merge_pools_samples_across_ranks(self):
+        # Rank 0 sees only fast samples, rank 1 only slow ones.  The
+        # merged p99 must come from the pooled data — averaging the two
+        # per-rank p99s would land mid-gap where no sample exists.
+        r0, r1 = MetricsRegistry(rank=0), MetricsRegistry(rank=1)
+        for _ in range(50):
+            r0.histogram("lat").observe(1.0)
+            r1.histogram("lat").observe(100.0)
+        merged = merge_snapshots([r0.snapshot(), r1.snapshot()])
+        entry = merged["histograms"]["lat"]
+        pooled = sorted([1.0] * 50 + [100.0] * 50)
+        assert entry["p99"] == pytest.approx(float(np.percentile(pooled, 99)))
+        assert entry["p50"] == pytest.approx(float(np.percentile(pooled, 50)))
+        assert entry["samples_pooled"] == 100
+        per_rank_mean_p99 = (1.0 + 100.0) / 2
+        assert entry["p99"] != pytest.approx(per_rank_mean_p99)
+
+
+# ----------------------------------------------------------------------
+# sampler + series
+# ----------------------------------------------------------------------
+class TestMetricsSampler:
+    def test_manual_ticks_build_per_rank_and_aggregate_series(self):
+        registry_for(0).counter("work.done").add(5)
+        registry_for(1).counter("work.done").add(7)
+        registry_for(0).histogram("lat").observe(0.010)
+        registry_for(1).histogram("lat").observe(0.030)
+        sampler = MetricsSampler(interval=0.05)
+        generation = sampler.sample_once()
+        assert generation == 0
+        rank0 = sampler.series("work.done", rank=0)
+        assert rank0.latest().value == 5
+        aggregate = sampler.series("work.done")  # rank=None
+        agg = aggregate.latest().value
+        assert agg["sum"] == 12 and agg["min"] == 5 and agg["max"] == 7
+        assert agg["mean"] == pytest.approx(6.0)
+        lat = sampler.series("lat").latest().value
+        assert lat["count"] == 2
+        assert "p99" in lat
+
+    def test_series_ring_is_bounded_and_generations_advance(self):
+        registry_for(0).gauge("g").set(1.0)
+        sampler = MetricsSampler(interval=0.05, capacity=4)
+        for _ in range(7):
+            sampler.sample_once()
+        series = sampler.series("g", rank=0)
+        assert len(series) == 4
+        generations = [p.generation for p in series.points()]
+        assert generations == [3, 4, 5, 6]
+        assert series.at_generation(5).value == 1.0
+        assert series.at_generation(0) is None  # evicted
+
+    def test_background_thread_samples_and_stops(self):
+        registry_for(0).counter("ticks").add(1)
+        sampler = MetricsSampler(interval=0.02).start()
+        assert sampler.running
+        time.sleep(0.12)
+        sampler.stop()
+        assert not sampler.running
+        assert sampler.generation >= 3
+        assert len(sampler.ticks()) == sampler.generation + 1
+
+    def test_dump_jsonl(self, tmp_path):
+        registry_for(0).counter("c").add(2)
+        registry_for(0).histogram("h").observe(1.5)
+        sampler = MetricsSampler(interval=0.05)
+        sampler.sample_once()
+        sampler.sample_once()
+        path = sampler.dump_jsonl(str(tmp_path / "metrics.jsonl"))
+        lines = [json.loads(line) for line in open(path)]
+        assert [tick["generation"] for tick in lines] == [0, 1]
+        assert lines[0]["aggregate"]["c"]["sum"] == 2
+        assert lines[0]["per_rank"][0]["histograms"]["h"]["count"] == 1
+
+    def test_teardown_flushes_running_sampler(self):
+        # Interval far longer than the run: the only tick can come from
+        # DistributedContext.close() flushing active samplers.
+        telemetry.enable()
+        sampler = MetricsSampler(interval=60.0).start()
+        try:
+            run_world(2, lambda rank: (_train_ddp(rank, iterations=2), None)[1],
+                      backend="gloo")
+            assert sampler.generation >= 0
+            assert sampler.series("iterations.synced", rank=0) is not None
+        finally:
+            sampler.stop(final_sample=False)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exporter
+# ----------------------------------------------------------------------
+#: One exposition line: metric name, optional labels, then a float.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+_TYPE_LINE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+
+
+def check_exposition_format(text: str):
+    """Assert every line is a valid type comment or sample line."""
+    lines = [line for line in text.split("\n") if line]
+    assert lines, "empty exposition"
+    for line in lines:
+        if line.startswith("#"):
+            assert _TYPE_LINE.match(line), f"bad TYPE line: {line!r}"
+        else:
+            assert _SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+    return lines
+
+
+class TestPrometheusExporter:
+    def test_exposition_passes_line_format_checker(self):
+        registry_for(0).counter("allreduce.calls").add(3)
+        registry_for(1).counter("allreduce.calls").add(4)
+        registry_for(0).gauge("iteration.overlap_ratio").set(0.75)
+        for v in (0.01, 0.02, 0.05):
+            registry_for(0).histogram("allreduce.latency").observe(v)
+        text = prometheus_text()
+        lines = check_exposition_format(text)
+        assert 'repro_allreduce_calls_total{rank="0"} 3.0' in lines
+        assert 'repro_allreduce_calls_total{rank="1"} 4.0' in lines
+        assert 'repro_iteration_overlap_ratio{rank="0"} 0.75' in lines
+        quantiles = [l for l in lines if "quantile=" in l]
+        assert len(quantiles) == 3  # p50/p95/p99 for the one histogram
+        assert any(l.startswith("repro_allreduce_latency_sum") for l in lines)
+        assert any(l.startswith("repro_allreduce_latency_count") for l in lines)
+
+    def test_metric_name_sanitization(self):
+        from repro.telemetry.observatory.exporter import metric_name
+
+        assert metric_name("bucket.ready_to_launch_delay") == \
+            "repro_bucket_ready_to_launch_delay"
+        assert metric_name("9lives!") == "repro__9lives_"
+
+    def test_live_scrape_over_http(self):
+        registry_for(0).counter("scrape.hits").add(2)
+        exporter = start_exporter(port=0)
+        try:
+            with urllib.request.urlopen(exporter.url, timeout=5) as response:
+                assert response.status == 200
+                assert "version=0.0.4" in response.headers["Content-Type"]
+                body = response.read().decode()
+            lines = check_exposition_format(body)
+            assert 'repro_scrape_hits_total{rank="0"} 2.0' in lines
+            # Non-metrics paths 404.
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    exporter.url.replace("/metrics", "/nope"), timeout=5)
+        finally:
+            exporter.close()
+
+
+# ----------------------------------------------------------------------
+# critical-path profiler
+# ----------------------------------------------------------------------
+def _fig06_workload(world=4, width=192, depth=2, iterations=8):
+    """The bench_fig06_breakdown measured workload, test-sized."""
+    stats_by_rank = {}
+
+    def body(rank):
+        manual_seed(0)
+        layers = [nn.Linear(64, width), nn.ReLU()]
+        for _ in range(depth - 1):
+            layers += [nn.Linear(width, width), nn.ReLU()]
+        layers += [nn.Linear(width, 8)]
+        ddp = DistributedDataParallel(nn.Sequential(*layers), bucket_cap_mb=0.25)
+        opt = optim.SGD(ddp.parameters(), lr=0.01)
+        rng = np.random.default_rng(rank)
+        loss_fn = nn.CrossEntropyLoss()
+        for _ in range(iterations):
+            inp = Tensor(rng.standard_normal((64, 64)))
+            exp = rng.integers(0, 8, 64)
+            opt.zero_grad()
+            loss_fn(ddp(inp), exp).backward()
+            opt.step()
+        stats_by_rank[rank] = ddp.ddp_stats()
+        return None
+
+    run_world(world, body, backend="gloo", timeout=60.0)
+    return stats_by_rank
+
+
+class TestCriticalPathProfiler:
+    def test_attribution_sums_to_iteration_wall_time(self):
+        telemetry.enable()
+        stats_by_rank = _fig06_workload()
+        profiler = CriticalPathProfiler()
+        profiles = profiler.profiles()
+        # Every retained (iteration, rank) pair gets a profile.
+        assert len(profiles) == 4 * 8
+        for profile in profiles:
+            total = profile.total_s
+            assert total > 0
+            attributed = sum(profile.attribution().values())
+            assert attributed == pytest.approx(total, rel=0.02), (
+                f"attribution {attributed} vs wall {total} "
+                f"(iteration {profile.iteration}, rank {profile.rank})"
+            )
+
+    def test_overlap_ratio_agrees_with_recorder(self):
+        telemetry.enable()
+        stats_by_rank = _fig06_workload(iterations=4)
+        profiler = CriticalPathProfiler()
+        for rank, stats in stats_by_rank.items():
+            profile = profiler.profile(rank=rank)  # latest iteration
+            assert profile is not None
+            assert profile.overlap_ratio == pytest.approx(
+                stats["comm_compute_overlap_ratio"], abs=1e-9
+            )
+
+    def test_profile_from_detail_matches_span_profiler(self):
+        telemetry.enable()
+        stats_by_rank = _fig06_workload(iterations=4)
+        prof = stats_by_rank[0]["profile"]
+        assert prof is not None
+        att = prof["attribution_ms"]
+        assert sum(att.values()) == pytest.approx(prof["total_ms"], rel=0.02)
+        assert prof["overlap_ratio"] == pytest.approx(
+            stats_by_rank[0]["comm_compute_overlap_ratio"], abs=1e-9
+        )
+        assert 1 <= len(prof["blame"]) <= 3
+        shares = [b["share_of_exposed"] for b in prof["blame"]]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_profile_works_with_telemetry_disabled(self):
+        # The recorder's coarse clock is always on, so ddp_stats carries
+        # a profile even without spans.
+        stats_by_rank = _fig06_workload(world=2, iterations=2)
+        prof = stats_by_rank[0]["profile"]
+        assert prof is not None
+        assert sum(prof["attribution_ms"].values()) == pytest.approx(
+            prof["total_ms"], rel=0.02
+        )
+        # But the span profiler has nothing.
+        assert CriticalPathProfiler().profiles() == []
+
+    def test_blame_table_and_straggler_summary(self):
+        telemetry.enable()
+        _fig06_workload(iterations=4)
+        profiler = CriticalPathProfiler()
+        table = profiler.last_profile().blame_table()
+        assert "critical path" in table and "exposed" in table
+        summary = profiler.straggler_summary()
+        assert summary.iterations == 4
+        assert sum(summary.finish_counts.values()) == 4
+        assert re.match(r"rank \d+ is the straggler on \d+/4 iterations",
+                        summary.describe())
+
+    def test_profile_from_detail_empty(self):
+        assert profile_from_detail({}) is None
+
+
+# ----------------------------------------------------------------------
+# straggler detection + sampler series under fault injection
+# ----------------------------------------------------------------------
+class TestInjectedStraggler:
+    def test_slow_rank_is_named_and_series_shows_the_step(self):
+        from repro.resilience.faults import FaultPlan, slow_rank
+
+        world, slow, delay = 3, 1, 0.05
+        # Scope the wire fault to the "hot" probe tag so group-setup
+        # traffic and the warm-up probes stay fast: generation 0 samples
+        # the healthy send cost, generation 1 the injected one.
+        plan = FaultPlan([slow_rank(slow, delay, tag_contains="hot")], seed=0)
+        sampler = MetricsSampler(interval=60.0)  # manual ticks only
+        barrier = threading.Barrier(world)
+        reports = {}
+
+        def probe_send(rank, context, tag):
+            """Time one ring send; the fault sleeps on the sender."""
+            t0 = time.perf_counter()
+            context.hub.send(rank, (rank + 1) % world, (tag, rank), np.zeros(8))
+            elapsed = time.perf_counter() - t0
+            registry_for(rank).gauge("probe.send_s").set(elapsed)
+            return elapsed
+
+        def body(rank):
+            from repro.comm.distributed import get_context
+
+            context = get_context()
+            group = context.default_group
+            left = (rank - 1) % world
+            # Phase A: healthy sends (and drain the ring neighbor's).
+            probe_send(rank, context, "warm")
+            context.hub.recv(rank, left, ("warm", left), timeout=10.0)
+            barrier.wait()
+            if rank == 0:
+                sampler.sample_once()   # generation 0: healthy latencies
+            barrier.wait()
+            # Phase B: the fault fires on the slow rank's probe.
+            elapsed = probe_send(rank, context, "hot")
+            context.hub.recv(rank, left, ("hot", left), timeout=10.0)
+            barrier.wait()
+            if rank == 0:
+                sampler.sample_once()   # generation 1: the step
+            barrier.wait()
+            reports[rank] = telemetry.detect_stragglers(
+                group, elapsed, threshold=1.5
+            )
+            return None
+
+        telemetry.enable()
+        run_world(world, body, backend="gloo", fault_plan=plan, timeout=30.0)
+
+        # The straggler detector names the injected rank on every rank.
+        for rank, report in reports.items():
+            assert report.stragglers == [slow]
+            assert report.is_straggler == (rank == slow)
+
+        # The slow rank's latency series steps up at generation 1.
+        series = sampler.series("probe.send_s", rank=slow)
+        healthy = series.at_generation(0).value
+        injected = series.at_generation(1).value
+        assert healthy < delay / 2
+        assert injected >= delay * 0.9
+        # Healthy ranks show no such step.
+        for rank in range(world):
+            if rank == slow:
+                continue
+            other = sampler.series("probe.send_s", rank=rank)
+            assert other.at_generation(1).value < delay / 2
+
+
+# ----------------------------------------------------------------------
+# merged timeline
+# ----------------------------------------------------------------------
+class TestMergedTimeline:
+    def test_merged_trace_has_all_three_tracks(self, tmp_path):
+        from repro.debug.levels import get_debug_level, set_debug_level
+        from repro.resilience.faults import FaultPlan, corrupt
+        from repro.resilience.transport import ReliableTransportHub
+
+        telemetry.enable()
+        previous = get_debug_level()
+        set_debug_level("INFO")
+        try:
+            # Spans + flight records from a real 2-rank DDP run...
+            run_world(2, lambda rank: (_train_ddp(rank, iterations=2), None)[1],
+                      backend="gloo")
+            # ...and resilience instants from a reliable hub surviving a
+            # corrupted delivery (detect -> retransmit markers).
+            hub = ReliableTransportHub(2, default_timeout=10.0)
+            hub.install_fault_plan(FaultPlan([corrupt(times=1)], seed=0))
+            payload = np.arange(16, dtype=np.float64)
+            sender = threading.Thread(
+                target=hub.send, args=(0, 1, "blob", payload), daemon=True
+            )
+            sender.start()
+            received = hub.recv(1, 0, "blob", timeout=10.0)
+            sender.join(timeout=5.0)
+            np.testing.assert_array_equal(received, payload)
+            assert hub.corrupt_detected[1] == 1
+
+            from repro.telemetry import export_merged_trace, merged_trace_events
+
+            events = merged_trace_events()
+            categories = {e.get("cat") for e in events if e.get("cat")}
+            assert {"compute", "comm", "iteration", "flight"} <= categories
+            assert "resilience" in categories
+
+            # Resilience events are instant markers, flight rows are bars.
+            resilience = [e for e in events if e.get("cat") == "resilience"]
+            assert resilience and all(e["ph"] == "i" for e in resilience)
+            assert {e["name"] for e in resilience} >= {"corrupt_detected",
+                                                       "retransmit"}
+            flight = [e for e in events if e.get("cat") == "flight"]
+            assert flight and all(e["ph"] == "X" for e in flight)
+            assert any(re.match(r"allreduce#\d+", e["name"]) for e in flight)
+            assert all(e["args"]["state"] == "completed" for e in flight
+                       if e["name"].startswith("allreduce"))
+
+            # Distinct named rows: spans, flight, resilience per rank.
+            thread_names = {
+                (e["pid"], e["args"]["name"])
+                for e in events if e.get("name") == "thread_name"
+            }
+            assert (0, "compute") in thread_names
+            assert (0, "flight") in thread_names
+            assert (1, "resilience") in thread_names
+
+            # The export round-trips as Perfetto-loadable JSON.
+            path = export_merged_trace(str(tmp_path / "merged.json"))
+            document = json.load(open(path))
+            assert document["traceEvents"]
+            timestamps = [e["ts"] for e in document["traceEvents"]
+                          if e["ph"] != "M"]
+            assert min(timestamps) >= 0.0  # rebased to the shared epoch
+        finally:
+            set_debug_level(previous)
+            from repro.debug.flight_recorder import clear_recorders
+
+            clear_recorders()
+
+    def test_merged_trace_empty_when_nothing_recorded(self):
+        from repro.telemetry import merged_trace_events
+
+        assert merged_trace_events() == []

@@ -1,0 +1,136 @@
+"""The perf-regression gate: flattening, judging, blessing.
+
+The committed baselines must pass against themselves (ratio 1.0), a
+doctored 2x slowdown must fail, and the flattening must line up sweep
+rows by configuration rather than position.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+import perfguard  # noqa: E402
+
+BASELINES = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "baselines"
+)
+HOTPATH_BASELINE = os.path.join(BASELINES, "hotpath.json")
+MICRO_BASELINE = os.path.join(BASELINES, "collectives_micro.json")
+
+
+class TestFlatten:
+    def test_rows_keyed_by_identifying_fields(self):
+        document = {
+            "bench": "demo",
+            "created_unix": 1.0,
+            "allreduce": [
+                {"world": 2, "size_mb": 1, "ring_s": 0.5, "seed_ring_s": 1.0},
+                {"world": 4, "size_mb": 1, "ring_s": 0.7, "seed_ring_s": 2.0},
+            ],
+        }
+        flat = perfguard.flatten(document)
+        assert flat["allreduce[world=2,size_mb=1].ring_s"] == 0.5
+        assert flat["allreduce[world=4,size_mb=1].seed_ring_s"] == 2.0
+        assert "created_unix" not in flat  # envelope stripped
+
+    def test_row_order_does_not_matter(self):
+        rows = [{"world": 2, "ring_s": 0.5}, {"world": 4, "ring_s": 0.9}]
+        assert perfguard.flatten({"sweep": rows}) == perfguard.flatten(
+            {"sweep": list(reversed(rows))}
+        )
+
+    def test_booleans_are_not_metrics(self):
+        flat = perfguard.flatten({"checks": {"ok": True, "ratio_s": 1.5}})
+        assert "checks.ok" not in flat
+        assert flat["checks.ratio_s"] == 1.5
+
+
+class TestDirection:
+    @pytest.mark.parametrize("metric,expected", [
+        ("allreduce[world=2].ring_s", "lower"),
+        ("ddp[mode=view].iter_ms", "lower"),
+        ("median_seconds.ring", "lower"),
+        ("per_bucket_allreduce_latency", "lower"),
+        ("allreduce[world=2].ring_speedup_vs_seed", "higher"),
+        ("checks.zero_copy_hits", None),
+        ("sampler_overhead.overhead_pct", None),
+    ])
+    def test_classification(self, metric, expected):
+        assert perfguard.direction(metric) == expected
+
+
+class TestGate:
+    def test_committed_baselines_pass_against_themselves(self, capsys):
+        assert perfguard.main([HOTPATH_BASELINE, MICRO_BASELINE]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "REGRESSION" not in out
+
+    def test_synthetic_2x_slowdown_fails(self, tmp_path, capsys):
+        document = json.load(open(HOTPATH_BASELINE))
+        for row in document["allreduce"]:
+            row["ring_s"] *= 2.0
+        doctored = tmp_path / "BENCH_hotpath.json"
+        doctored.write_text(json.dumps(document))
+        assert perfguard.main([str(doctored)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "ring_s" in out
+
+    def test_speedup_collapse_fails(self, tmp_path):
+        document = json.load(open(HOTPATH_BASELINE))
+        for row in document["allreduce"]:
+            row["ring_speedup_vs_seed"] /= 4.0
+        doctored = tmp_path / "BENCH_hotpath.json"
+        doctored.write_text(json.dumps(document))
+        assert perfguard.main([str(doctored)]) == 1
+
+    def test_generous_threshold_tolerates_the_2x(self, tmp_path):
+        document = json.load(open(HOTPATH_BASELINE))
+        for row in document["allreduce"]:
+            row["ring_s"] *= 2.0
+        doctored = tmp_path / "BENCH_hotpath.json"
+        doctored.write_text(json.dumps(document))
+        assert perfguard.main(["--threshold", "4.0", str(doctored)]) == 0
+
+    def test_per_metric_override(self, tmp_path):
+        document = json.load(open(HOTPATH_BASELINE))
+        for row in document["chunk_sweep"]:
+            row["ring_s"] *= 3.0
+        doctored = tmp_path / "BENCH_hotpath.json"
+        doctored.write_text(json.dumps(document))
+        assert perfguard.main([str(doctored)]) == 1
+        assert perfguard.main(
+            ["--per-metric", "chunk_sweep=8.0", str(doctored)]) == 0
+
+    def test_noise_floor_skips_tiny_baselines(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "tiny.json").write_text(json.dumps(
+            {"bench": "tiny", "op_s": 1e-5}))
+        current = tmp_path / "BENCH_tiny.json"
+        current.write_text(json.dumps({"bench": "tiny", "op_s": 1e-3}))
+        # 100x "regression" on a 10 µs metric is scheduler noise.
+        assert perfguard.main(
+            ["--baseline-dir", str(baseline_dir), str(current)]) == 0
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        current = tmp_path / "BENCH_unknown.json"
+        current.write_text(json.dumps({"bench": "unknown", "x_s": 1.0}))
+        assert perfguard.main(
+            ["--baseline-dir", str(tmp_path / "none"), str(current)]) == 2
+
+    def test_bless_adopts_current_as_baseline(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        current = tmp_path / "BENCH_fresh.json"
+        current.write_text(json.dumps({"bench": "fresh", "op_s": 2.5}))
+        assert perfguard.main(
+            ["--bless", "--baseline-dir", str(baseline_dir), str(current)]) == 0
+        blessed = json.load(open(baseline_dir / "fresh.json"))
+        assert blessed["op_s"] == 2.5
+        # And the blessed baseline now gates.
+        assert perfguard.main(
+            ["--baseline-dir", str(baseline_dir), str(current)]) == 0

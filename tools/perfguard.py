@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the benches' machine-readable results.
+
+Compares fresh ``BENCH_<name>.json`` files (the ``emit_json`` envelope
+every benchmark writes) against committed baselines in
+``benchmarks/baselines/<name>.json`` and exits non-zero when any timing
+metric regressed beyond its threshold.  CI runs this after the smoke
+benches so a PR that slows the hot path fails loudly instead of decaying
+the numbers one merge at a time.
+
+How it compares
+===============
+
+Each result file is flattened into ``metric → value`` pairs.  Rows in
+result lists are keyed by their identifying fields (``world``,
+``size_mb``, ``chunk_kb``, ``mode``, ``num_streams``, ``algorithm``,
+...), so a smoke run and a full run still compare on the configurations
+they share — metrics present on only one side are reported and skipped,
+never failed.  Only metrics with a known direction participate:
+
+* **lower is better** — names ending in ``_s``/``_ms`` or containing
+  ``seconds``/``latency`` (wall times);
+* **higher is better** — names containing ``speedup``.
+
+Counters, ratios, and booleans are ignored (the benches gate those
+themselves).  Baseline values below ``--min-abs`` seconds are skipped:
+sub-millisecond timings on shared CI runners are scheduler noise, and a
+guard that cries wolf gets deleted.
+
+Usage
+=====
+
+    # gate fresh results against the committed baselines
+    python tools/perfguard.py BENCH_hotpath.json BENCH_collectives_micro.json
+
+    # looser global threshold (ratio; 2.0 = fail when 2x slower)
+    python tools/perfguard.py --threshold 4.0 BENCH_hotpath.json
+
+    # per-metric override (substring match, first hit wins)
+    python tools/perfguard.py --per-metric 'chunk_sweep=6.0' BENCH_hotpath.json
+
+    # bless: copy the fresh results in as the new baselines
+    python tools/perfguard.py --bless BENCH_hotpath.json
+
+Baselines are regenerated with the benches' own baseline mode
+(``REPRO_BENCH_BASELINE=1 python benchmarks/bench_hotpath.py --smoke``),
+which writes ``benchmarks/baselines/<name>.json`` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+#: Envelope fields emit_json adds around every payload — never metrics.
+ENVELOPE_KEYS = {"bench", "created_unix", "python", "platform", "smoke", "iters"}
+
+#: Fields that identify a result row rather than measure it.
+ID_FIELDS = (
+    "algorithm", "mode", "world", "size_mb", "chunk_kb", "num_streams",
+    "bucket", "bucket_cap_mb", "interval_s", "elements",
+)
+
+
+def flatten(obj, prefix: str = "") -> Dict[str, float]:
+    """``metric path → numeric value`` pairs from one result document.
+
+    Lists of row dicts are keyed by their identifying fields so the same
+    configuration lines up across runs regardless of row order or which
+    sweep points a given run covered.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not prefix and key in ENVELOPE_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else key
+            out.update(flatten(value, path))
+    elif isinstance(obj, list):
+        for item in obj:
+            if not isinstance(item, dict):
+                continue
+            ident = ",".join(
+                f"{field}={item[field]}" for field in ID_FIELDS if field in item
+            )
+            rest = {k: v for k, v in item.items() if k not in ID_FIELDS}
+            out.update(flatten(rest, f"{prefix}[{ident}]"))
+    elif isinstance(obj, bool):
+        pass  # check booleans are the bench's own gate, not ours
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def direction(metric: str) -> Optional[str]:
+    """'lower' / 'higher' is better, or None to skip the metric."""
+    if "speedup" in metric:
+        return "higher"
+    leaf = metric.rsplit(".", 1)[-1]
+    if leaf.endswith(("_s", "_ms")) or "seconds" in metric or "latency" in metric:
+        return "lower"
+    return None
+
+
+def load_result(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def baseline_path_for(document: dict, baseline_dir: str, current_path: str) -> str:
+    """benchmarks/baselines/<bench>.json, named by the envelope's bench
+    field (falling back to the file name for envelope-less documents)."""
+    bench = document.get("bench")
+    if not bench:
+        bench = os.path.splitext(os.path.basename(current_path))[0]
+        if bench.startswith("BENCH_"):
+            bench = bench[len("BENCH_"):]
+    return os.path.join(baseline_dir, f"{bench}.json")
+
+
+def threshold_for(metric: str, default: float,
+                  overrides: List[Tuple[str, float]]) -> float:
+    for needle, value in overrides:
+        if needle in metric:
+            return value
+    return default
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    default_threshold: float,
+    overrides: List[Tuple[str, float]],
+    min_abs: float,
+) -> dict:
+    """Judge every shared metric; returns regressions + bookkeeping."""
+    regressions: List[dict] = []
+    compared = 0
+    skipped_small = 0
+    shared = sorted(set(baseline) & set(current))
+    for metric in shared:
+        sense = direction(metric)
+        if sense is None:
+            continue
+        base, cur = baseline[metric], current[metric]
+        scale = 1e-3 if metric.rsplit(".", 1)[-1].endswith("_ms") else 1.0
+        if base * scale < min_abs or base <= 0:
+            skipped_small += 1
+            continue
+        compared += 1
+        ratio = (cur / base) if sense == "lower" else (base / cur if cur > 0 else float("inf"))
+        limit = threshold_for(metric, default_threshold, overrides)
+        if ratio > limit:
+            regressions.append(
+                {
+                    "metric": metric,
+                    "direction": sense,
+                    "baseline": base,
+                    "current": cur,
+                    "ratio": ratio,
+                    "threshold": limit,
+                }
+            )
+    return {
+        "compared": compared,
+        "skipped_below_min_abs": skipped_small,
+        "only_in_baseline": len(set(baseline) - set(current)),
+        "only_in_current": len(set(current) - set(baseline)),
+        "regressions": regressions,
+    }
+
+
+def bless(current_path: str, baseline_path: str) -> None:
+    os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+    shutil.copyfile(current_path, baseline_path)
+    print(f"[perfguard] blessed {current_path} -> {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh bench results regress vs committed baselines."
+    )
+    parser.add_argument("results", nargs="+",
+                        help="fresh BENCH_<name>.json files to judge")
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                        help="directory of committed <bench>.json baselines")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="default allowed slowdown ratio (1.5 = fail when 1.5x slower)")
+    parser.add_argument("--per-metric", action="append", default=[],
+                        metavar="SUBSTRING=RATIO",
+                        help="threshold override for metrics containing SUBSTRING")
+    parser.add_argument("--min-abs", type=float, default=1e-3,
+                        help="ignore metrics whose baseline is below this "
+                             "many seconds (noise floor)")
+    parser.add_argument("--bless", action="store_true",
+                        help="adopt the fresh results as the new baselines "
+                             "instead of judging them")
+    args = parser.parse_args(argv)
+
+    overrides: List[Tuple[str, float]] = []
+    for spec in args.per_metric:
+        needle, _, raw = spec.partition("=")
+        try:
+            overrides.append((needle, float(raw)))
+        except ValueError:
+            parser.error(f"--per-metric expects SUBSTRING=RATIO, got {spec!r}")
+
+    failed = False
+    for current_path in args.results:
+        if not os.path.exists(current_path):
+            print(f"[perfguard] ERROR: result file missing: {current_path}")
+            return 2
+        document = load_result(current_path)
+        baseline_path = baseline_path_for(document, args.baseline_dir, current_path)
+        if args.bless:
+            bless(current_path, baseline_path)
+            continue
+        if not os.path.exists(baseline_path):
+            print(f"[perfguard] ERROR: no baseline at {baseline_path} "
+                  f"(generate with REPRO_BENCH_BASELINE=1, or --bless)")
+            return 2
+        verdict = compare(
+            flatten(load_result(baseline_path)),
+            flatten(document),
+            args.threshold,
+            overrides,
+            args.min_abs,
+        )
+        name = document.get("bench", current_path)
+        print(
+            f"[perfguard] {name}: {verdict['compared']} metrics compared "
+            f"({verdict['skipped_below_min_abs']} below noise floor, "
+            f"{verdict['only_in_baseline']} baseline-only, "
+            f"{verdict['only_in_current']} current-only)"
+        )
+        for reg in verdict["regressions"]:
+            failed = True
+            print(
+                f"[perfguard]   REGRESSION {reg['metric']}: "
+                f"{reg['baseline']:.6g} -> {reg['current']:.6g} "
+                f"({reg['ratio']:.2f}x, limit {reg['threshold']:.2f}x, "
+                f"{reg['direction']} is better)"
+            )
+        if not verdict["regressions"]:
+            print(f"[perfguard] {name}: OK")
+    if failed:
+        print("[perfguard] FAILED — see regressions above")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
