@@ -286,6 +286,75 @@ def bench_sampler_overhead(hidden, iters, interval=0.1):
     }
 
 
+def bench_health_overhead(hidden, iters):
+    """Iteration-time cost of the comm health engine's accounting.
+
+    Telemetry stays enabled for both runs; only the health kill switch
+    flips.  The delta isolates what the per-collective efficiency
+    accounting (stall bracketing, busbw/utilization observations, event
+    log appends) adds on top of spans — the acceptance bound is < 5%.
+
+    The schedule is ABBA (off, on, on, off) with each arm averaged:
+    background load on a shared runner drifts over the measurement
+    window, and a naive A-then-B comparison silently charges the drift
+    to whichever arm ran second.  ABBA cancels linear drift exactly.
+    """
+    from repro import telemetry
+    from repro.telemetry.health import accounting
+
+    def run_once(with_health):
+        accounting.set_enabled(with_health)
+
+        def body(rank):
+            manual_seed(0)
+            model = nn.Sequential(
+                nn.Linear(hidden, hidden), nn.ReLU(), nn.Linear(hidden, 8)
+            )
+            ddp = DistributedDataParallel(model, bucket_cap_mb=1.0)
+            opt = SGD(ddp.parameters(), lr=0.01)
+            loss_fn = nn.CrossEntropyLoss()
+            rng = np.random.default_rng(rank)
+            X = rng.standard_normal((4, hidden))
+            Y = rng.integers(0, 8, 4)
+            # One warm-up, then the timed block as one wall-clock span:
+            # per-iteration medians are too coarse for a percent-level
+            # delta at millisecond iteration times.
+            opt.zero_grad()
+            loss_fn(ddp(Tensor(X)), Y).backward()
+            opt.step()
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                opt.zero_grad()
+                loss_fn(ddp(Tensor(X)), Y).backward()
+                opt.step()
+            return (time.perf_counter() - t0) / iters
+
+        per_rank = run_distributed(2, body, backend="gloo", timeout=120.0)
+        return max(per_rank)
+
+    iters = max(iters, 50)
+    telemetry.enable()
+    try:
+        base_a = run_once(False)
+        health_a = run_once(True)
+        health_b = run_once(True)
+        base_b = run_once(False)
+    finally:
+        accounting.set_enabled(True)
+        telemetry.disable()
+        telemetry.reset()
+    base_s = (base_a + base_b) / 2.0
+    health_s = (health_a + health_b) / 2.0
+    overhead_pct = 100.0 * (health_s - base_s) / base_s if base_s > 0 else 0.0
+    return {
+        "iters": iters,
+        "schedule": "ABBA",
+        "base_iter_s": base_s,
+        "health_iter_s": health_s,
+        "overhead_pct": overhead_pct,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -361,6 +430,16 @@ def main(argv=None):
           sampler_row["sampled_iter_s"] * 1e3, sampler_row["overhead_pct"]]],
     )
 
+    print("[bench_hotpath] comm health accounting overhead")
+    health_row = bench_health_overhead(hidden, ddp_iters * 4)
+    report(
+        "hotpath_health",
+        "Health accounting overhead (2 ranks, median iteration)",
+        ["base_ms", "health_ms", "overhead_pct"],
+        [[health_row["base_iter_s"] * 1e3, health_row["health_iter_s"] * 1e3,
+          health_row["overhead_pct"]]],
+    )
+
     # Regression gates on the largest (≥25 MB) bucket case.
     large = [r for r in allreduce_rows if r["size_mb"] >= 25] or allreduce_rows
     gate = max(large, key=lambda r: (r["size_mb"], r["world"]))
@@ -377,6 +456,10 @@ def main(argv=None):
         # The measured number documents the <2% claim; the hard gate is
         # an order of magnitude looser so CI scheduler noise can't trip it.
         "sampler_overhead_sane": sampler_row["overhead_pct"] < 10.0,
+        "health_overhead_pct": health_row["overhead_pct"],
+        # The health-engine acceptance bound: accounting adds < 5% to
+        # the median DDP iteration.
+        "health_overhead_sane": health_row["overhead_pct"] < 5.0,
     }
 
     emit_json(
@@ -388,6 +471,7 @@ def main(argv=None):
             "chunk_sweep": chunk_rows,
             "ddp": ddp_rows,
             "sampler_overhead": sampler_row,
+            "health_overhead": health_row,
             "checks": checks,
         },
         path=args.out,
@@ -400,6 +484,7 @@ def main(argv=None):
             "optimized_beats_naive_large_bucket",
             "ddp_view_mode_zero_copies",
             "sampler_overhead_sane",
+            "health_overhead_sane",
         )
         if not checks[name]
     ]

@@ -45,13 +45,32 @@ Per-rank buffers are only touched by their own rank.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.transport import TransportHub
+from repro.telemetry.health import accounting as _health
 
 ReduceFn = Callable[..., np.ndarray]
+
+
+def _recv(hub: TransportHub, me: int, src: int, tag: object, timeout: float | None):
+    """``hub.recv`` plus per-source stall attribution.
+
+    When the process-group worker has bracketed this collective for
+    health accounting (:func:`repro.telemetry.health.accounting.active`),
+    the time spent inside ``recv`` is attributed to the sending rank —
+    the raw signal behind straggler and slow-link diagnoses.  Outside a
+    bracket this is a plain ``hub.recv`` plus one attribute check.
+    """
+    if not _health.active():
+        return hub.recv(me, src, tag, timeout)
+    t0 = time.perf_counter()
+    payload = hub.recv(me, src, tag, timeout)
+    _health.note_recv_stall(src, time.perf_counter() - t0)
+    return payload
 
 #: Elementwise reduction operators.  All values are numpy ufuncs so the
 #: hot path can reduce **in place** (``fn(dst, src, out=dst)``) without
@@ -177,7 +196,7 @@ def allreduce_naive(
     for offset, peer in enumerate(ranks):
         if offset == me:
             continue
-        incoming = hub.recv(ranks[me], peer, (tag, "naive", offset), timeout)
+        incoming = _recv(hub, ranks[me], peer, (tag, "naive", offset), timeout)
         fn(acc, incoming, out=acc)
     buffer[...] = acc
 
@@ -223,7 +242,7 @@ def allreduce_ring(
         for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
             hub.send(ranks[me], right, (tag, "rs", step, c), flat[lo:hi].copy())
         for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
-            incoming = hub.recv(ranks[me], left, (tag, "rs", step, c), timeout)
+            incoming = _recv(hub, ranks[me], left, (tag, "rs", step, c), timeout)
             fn(flat[lo:hi], incoming, out=flat[lo:hi])
 
     # Phase 2: allgather. Circulate the reduced segments.
@@ -233,7 +252,7 @@ def allreduce_ring(
         for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
             hub.send(ranks[me], right, (tag, "ag", step, c), flat[lo:hi].copy())
         for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
-            incoming = hub.recv(ranks[me], left, (tag, "ag", step, c), timeout)
+            incoming = _recv(hub, ranks[me], left, (tag, "ag", step, c), timeout)
             flat[lo:hi] = incoming
     buffer.reshape(-1)[...] = flat
 
@@ -278,7 +297,7 @@ def allreduce_tree(
         partner = me + mask
         if partner < world:
             for c, (lo, hi) in enumerate(whole):
-                incoming = hub.recv(ranks[me], ranks[partner], (tag, "red", mask, c), timeout)
+                incoming = _recv(hub, ranks[me], ranks[partner], (tag, "red", mask, c), timeout)
                 fn(flat[lo:hi], incoming, out=flat[lo:hi])
         mask <<= 1
 
@@ -291,7 +310,7 @@ def allreduce_tree(
         if me & (mask - 1) == 0:  # still active at this round
             if me & mask:
                 for c, (lo, hi) in enumerate(whole):
-                    incoming = hub.recv(ranks[me], ranks[me - mask], (tag, "bc", mask, c), timeout)
+                    incoming = _recv(hub, ranks[me], ranks[me - mask], (tag, "bc", mask, c), timeout)
                     flat[lo:hi] = incoming
             else:
                 partner = me + mask
@@ -348,7 +367,7 @@ def allreduce_halving_doubling(
         for c, (clo, chi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
             hub.send(ranks[me], ranks[partner], (tag, "rs", distance, c), flat[clo:chi].copy())
         for c, (clo, chi) in enumerate(_chunk_spans(keep_lo, keep_hi, celems)):
-            incoming = hub.recv(ranks[me], ranks[partner], (tag, "rs", distance, c), timeout)
+            incoming = _recv(hub, ranks[me], ranks[partner], (tag, "rs", distance, c), timeout)
             fn(flat[clo:chi], incoming, out=flat[clo:chi])
         spans.append((lo, hi))
         lo, hi = keep_lo, keep_hi
@@ -364,7 +383,7 @@ def allreduce_halving_doubling(
         # lower rank kept the lower half, so each fills in the other half.
         fill_lo, fill_hi = (hi, prev_hi) if me < partner else (prev_lo, lo)
         for c, (clo, chi) in enumerate(_chunk_spans(fill_lo, fill_hi, celems)):
-            incoming = hub.recv(ranks[me], ranks[partner], (tag, "ag", distance, c), timeout)
+            incoming = _recv(hub, ranks[me], ranks[partner], (tag, "ag", distance, c), timeout)
             flat[clo:chi] = incoming
         lo, hi = prev_lo, prev_hi
         distance >>= 1
@@ -407,7 +426,7 @@ def broadcast(
             if vrank & mask:
                 src = ranks[(vrank - mask + root) % world]
                 for c, (lo, hi) in enumerate(whole):
-                    incoming = hub.recv(ranks[me], src, (tag, "bc", mask, c), timeout)
+                    incoming = _recv(hub, ranks[me], src, (tag, "bc", mask, c), timeout)
                     flat[lo:hi] = incoming
             else:
                 vpartner = vrank + mask
@@ -448,7 +467,7 @@ def allgather(
         send_idx = (me - step) % world
         recv_idx = (me - step - 1) % world
         hub.send(ranks[me], right, (tag, "ag", step), out[send_idx].copy())
-        out[recv_idx] = hub.recv(ranks[me], left, (tag, "ag", step), timeout)
+        out[recv_idx] = _recv(hub, ranks[me], left, (tag, "ag", step), timeout)
     return out
 
 
@@ -482,7 +501,7 @@ def reduce_scatter(
         send_lo, send_hi = segments[(me - step) % world]
         recv_lo, recv_hi = segments[(me - step - 1) % world]
         hub.send(ranks[me], right, (tag, "rs", step), flat[send_lo:send_hi].copy())
-        incoming = hub.recv(ranks[me], left, (tag, "rs", step), timeout)
+        incoming = _recv(hub, ranks[me], left, (tag, "rs", step), timeout)
         fn(flat[recv_lo:recv_hi], incoming, out=flat[recv_lo:recv_hi])
     owned_lo, owned_hi = segments[(me + 1) % world]
     return flat[owned_lo:owned_hi]
@@ -522,7 +541,7 @@ def reduce(
         vpartner = vrank + mask
         if vpartner < world:
             src = ranks[(vpartner + root) % world]
-            incoming = hub.recv(ranks[me], src, (tag, "red", mask), timeout)
+            incoming = _recv(hub, ranks[me], src, (tag, "red", mask), timeout)
             fn(flat, incoming, out=flat)
         mask <<= 1
 
@@ -555,7 +574,7 @@ def gather(
     out[root] = flat
     for peer in range(world):
         if peer != root:
-            out[peer] = hub.recv(ranks[me], ranks[peer], (tag, "g", peer), timeout)
+            out[peer] = _recv(hub, ranks[me], ranks[peer], (tag, "g", peer), timeout)
     return out
 
 
@@ -585,7 +604,7 @@ def scatter(
             if peer != root:
                 hub.send(ranks[me], ranks[peer], (tag, "s", peer), np.asarray(chunks[peer]).copy())
         return np.asarray(chunks[root])
-    return hub.recv(ranks[me], ranks[root], (tag, "s", me), timeout)
+    return _recv(hub, ranks[me], ranks[root], (tag, "s", me), timeout)
 
 
 def barrier(

@@ -38,6 +38,8 @@ from repro.comm.transport import TransportHub, TransportTimeoutError
 from repro.debug import desync as _desync
 from repro.debug.flight_recorder import current_collective_context, recorder_for
 from repro.debug.levels import DEBUG, DETAIL
+from repro.telemetry.health import accounting as _health
+from repro.telemetry.health.events import record_event
 from repro.telemetry.metrics import registry_for
 from repro.telemetry.spans import TRACER
 from repro.utils.logging import logger
@@ -290,13 +292,39 @@ class ProcessGroup:
             retry_probe = getattr(self.hub, "retry_totals_for", None)
             retry_before = retry_probe(self.global_rank) if retry_probe else None
             self._inflight_by_stream[stream] = (work, time.perf_counter())
+            # Health accounting brackets the collective so the receive
+            # helper in the algorithms can attribute stalls per source.
+            health_on = _health.collecting_enabled()
+            if health_on:
+                _health.begin_collective()
             work._t_start = time.perf_counter()
+            if health_on:
+                self._record_lifecycle("start", work, work._t_start)
             try:
                 fn()
             except BaseException as exc:  # propagate through the Work handle
                 error = exc
             work._t_end = time.perf_counter()
             self._inflight_by_stream[stream] = None
+            if health_on:
+                stall_s, stall_by_src, chunks = _health.end_collective()
+                _health.record_collective(
+                    self.global_rank,
+                    work.meta,
+                    work._t_start,
+                    work._t_end,
+                    len(self.ranks),
+                    self.backend,
+                    stall_s,
+                    stall_by_src,
+                    chunks,
+                )
+                self._record_lifecycle(
+                    "failed" if error is not None else "complete",
+                    work,
+                    work._t_end,
+                    extra={"error": type(error).__name__} if error is not None else None,
+                )
             if retry_before is not None:
                 after = retry_probe(self.global_rank)
                 deltas = {
@@ -331,6 +359,25 @@ class ProcessGroup:
                 )
             work._complete(error)
 
+    def _record_lifecycle(
+        self, kind: str, work: Work, t: float, extra: Optional[dict] = None
+    ) -> None:
+        """Append one collective lifecycle event to this rank's health
+        event log, carrying the ``(group, seq)`` trace context that lets
+        the engine stitch the same collective across ranks."""
+        meta = work.meta or {}
+        record_event(
+            self.global_rank,
+            kind,
+            t=t,
+            group=self._group_id,
+            seq=meta.get("seq"),
+            op=meta.get("op"),
+            bucket=meta.get("bucket"),
+            nbytes=meta.get("bytes"),
+            extra=extra,
+        )
+
     def _submit(
         self,
         fn,
@@ -358,6 +405,8 @@ class ProcessGroup:
                 self._group_id,
             )
         work = Work(description, meta)
+        if _health.collecting_enabled():
+            self._record_lifecycle("schedule", work, time.perf_counter())
         stream = (meta or {}).get("seq", 0) % self.num_streams
         if self.flight_recorder is not None and DEBUG.level:
             fp = fingerprint or {}

@@ -406,7 +406,20 @@ class DistributedDataParallel(Module):
             "debug": self._debug_stats(),
             "resilience": self._resilience_stats(),
             "profile": self._profile_stats(detail),
+            "health": self._health_stats(detail),
         }
+
+    def _health_stats(self, detail: dict) -> dict:
+        """Comm-health section: per-collective efficiency summaries for
+        this rank (achieved bus bandwidth, chunk-pipeline utilization,
+        cost-model efficiency, receive stalls) plus the anomaly engine's
+        live cross-rank diagnoses.  The overlap ratio is served from the
+        always-on recorder clock; the rest needs telemetry enabled."""
+        from repro.telemetry.health import health_report
+
+        return health_report(
+            rank=self.process_group.global_rank, last_detail=detail
+        )
 
     def _profile_stats(self, detail: dict) -> Optional[dict]:
         """Critical-path attribution of the last synchronized iteration:

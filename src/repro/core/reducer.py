@@ -41,6 +41,8 @@ from repro.comm.process_group import ReduceOp
 from repro.core.bucket import BucketSpec, validate_assignment
 from repro.debug.flight_recorder import collective_context
 from repro.debug.levels import DEBUG
+from repro.telemetry.health import accounting as _health
+from repro.telemetry.health.events import record_event as record_health_event
 from repro.telemetry.metrics import registry_for
 from repro.telemetry.recorder import IterationRecorder
 from repro.telemetry.spans import TRACER
@@ -453,6 +455,16 @@ class Reducer:
         meta = getattr(bucket.work, "meta", None)
         if meta is not None:
             meta.setdefault("bucket", bucket.spec.index)
+        if _health.collecting_enabled():
+            record_health_event(
+                self.recorder.rank,
+                "bucket_launch",
+                iteration=self.recorder.iteration,
+                bucket=bucket.spec.index,
+                seq=(meta or {}).get("seq"),
+                group=(meta or {}).get("group"),
+                nbytes=bucket.flat.nbytes,
+            )
 
     def _finalize_backward(self) -> None:
         """Wait for communication, average, and write gradients back.

@@ -68,6 +68,20 @@ from repro.telemetry.spans import (
     span,
 )
 from repro.telemetry.straggler import StragglerReport, detect_stragglers
+from repro.telemetry import health
+from repro.telemetry.health import (
+    Diagnosis,
+    EventLog,
+    HealthEvent,
+    all_event_logs,
+    analyze_snapshots,
+    clear_event_logs,
+    event_log_for,
+    health_report,
+    merge_causal_timeline,
+    render_diagnoses,
+    seq_frontier,
+)
 from repro.telemetry.observatory import (
     CriticalPathProfiler,
     IterationProfile,
@@ -86,15 +100,20 @@ def get_metrics(rank=None) -> MetricsRegistry:
 
 
 def reset() -> None:
-    """Drop every recorded span and metric (enabled state unchanged)."""
+    """Drop every recorded span, metric, and health event (enabled state
+    unchanged)."""
     get_tracer().clear()
     clear_all_registries()
+    clear_event_logs()
 
 
 __all__ = [
     "Counter",
     "CriticalPathProfiler",
+    "Diagnosis",
+    "EventLog",
     "Gauge",
+    "HealthEvent",
     "Histogram",
     "IterationProfile",
     "IterationRecorder",
@@ -105,24 +124,33 @@ __all__ = [
     "SpanRecord",
     "SpanTracer",
     "StragglerReport",
+    "all_event_logs",
     "all_snapshots",
+    "analyze_snapshots",
     "begin",
+    "clear_event_logs",
     "clear_all_registries",
     "detect_stragglers",
     "disable",
     "enable",
+    "event_log_for",
     "export_chrome_trace",
     "export_merged_trace",
     "get_metrics",
     "get_tracer",
+    "health",
+    "health_report",
     "is_enabled",
     "maybe_start_from_env",
+    "merge_causal_timeline",
     "merge_snapshots",
     "merged_trace_events",
     "profile_from_detail",
     "prometheus_text",
     "registry_for",
+    "render_diagnoses",
     "reset",
+    "seq_frontier",
     "span",
     "start_exporter",
     "trace_events",

@@ -32,7 +32,7 @@ from repro.telemetry.spans import SpanTracer, TRACER
 
 #: Stable tid assignment so compute is always the top row per rank.
 _STREAM_ORDER = {"compute": 0, "comm": 1, "transport": 2,
-                 "resilience": 3, "flight": 4}
+                 "resilience": 3, "flight": 4, "health": 5}
 
 
 def _tid_for(stream: str, streams: Dict[str, int]) -> int:
@@ -113,10 +113,11 @@ def merged_trace_events(
     tracer: Optional[SpanTracer] = None,
     include_flight: bool = True,
     include_resilience: bool = True,
+    include_health: bool = True,
 ) -> List[dict]:
     """One timeline for every evidence source the runtime keeps.
 
-    Three tracks per rank, all on the shared ``perf_counter`` clock:
+    Four tracks per rank, all on the shared ``perf_counter`` clock:
 
     * telemetry spans (the same rows :func:`trace_events` emits);
     * the ``repro.debug`` flight recorder — one ``op#seq`` bar per
@@ -125,7 +126,11 @@ def merged_trace_events(
       timestamp with the terminal state in ``args``;
     * ``repro.resilience`` events (retries, retransmits, corruption
       drops, heartbeats) — zero-duration spans rendered as instant
-      (``ph: "i"``) markers on a ``resilience`` row.
+      (``ph: "i"``) markers on a ``resilience`` row;
+    * the ``repro.telemetry.health`` event log — collective lifecycle
+      and bucket-launch marks (``kind#seq``) as instants on a
+      ``health`` row, carrying the ``(group, seq)`` trace context that
+      stitches the same collective across ranks.
     """
     tracer = tracer or TRACER
     all_spans = tracer.spans()
@@ -136,6 +141,13 @@ def merged_trace_events(
 
         flight_dumps = [rec.dump() for _, rec in sorted(all_recorders().items())]
 
+    health_events: List[dict] = []
+    if include_health:
+        from repro.telemetry.health.events import all_event_logs
+
+        for _, log in sorted(all_event_logs().items()):
+            health_events.extend(log.as_dicts())
+
     # One epoch across every source so the tracks stay aligned.
     starts = [span.t_start for span in all_spans]
     starts.extend(
@@ -144,6 +156,7 @@ def merged_trace_events(
         for record in dump.get("records", ())
         if record.get("t_sched") is not None
     )
+    starts.extend(event["t"] for event in health_events)
     if not starts:
         return []
     epoch = min(starts)
@@ -215,16 +228,42 @@ def merged_trace_events(
                 }
             )
 
+    for event in health_events:
+        name = event["kind"]
+        if event.get("seq") is not None:
+            name = f"{name}#{event['seq']}"
+        args = {
+            key: event[key]
+            for key in ("iteration", "group", "seq", "op", "bucket",
+                        "nbytes", "extra")
+            if event.get(key) is not None
+        }
+        events.append(
+            {
+                "name": name,
+                "cat": "health",
+                "ph": "i",
+                "s": "t",
+                "ts": (event["t"] - epoch) * 1e6,
+                "pid": event["rank"],
+                "tid": tid(event["rank"], "health"),
+                "args": args,
+            }
+        )
+
     events.extend(_metadata_events(seen_tids))
     return events
 
 
 def export_merged_trace(path: str, tracer: Optional[SpanTracer] = None,
                         include_flight: bool = True,
-                        include_resilience: bool = True) -> str:
-    """Write the merged (spans + flight + resilience) timeline; returns path."""
+                        include_resilience: bool = True,
+                        include_health: bool = True) -> str:
+    """Write the merged (spans + flight + resilience + health) timeline;
+    returns path."""
     events = merged_trace_events(tracer, include_flight=include_flight,
-                                 include_resilience=include_resilience)
+                                 include_resilience=include_resilience,
+                                 include_health=include_health)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:

@@ -1,0 +1,242 @@
+"""Bounded cross-rank causal event log for collective lifecycles.
+
+Every existing evidence source answers "what happened on *this* rank":
+the flight recorder keeps one rank's collective ring, the span tracer
+one rank's intervals.  Diagnosing distributed pathologies needs the
+*join*: the same collective, seen from every rank, in causal order —
+rank 2 launched ``allreduce#14`` 80 ms after everyone else is a
+straggler signature no single-rank view can show.
+
+The :class:`EventLog` is a per-rank bounded ring of small structured
+:class:`HealthEvent` records (schedule/start/complete/failed lifecycle
+marks, bucket launches, resilience incidents).  Records carry the
+trace context that makes cross-rank stitching possible — ``(group,
+seq)`` names one collective globally, exactly the identifier every
+rank already agrees on by construction (ordered collectives, paper
+§3.3) — so :func:`merge_causal_timeline` can fold all ranks' logs into
+one per-collective causal timeline without clock agreement tricks:
+all rank threads share one ``perf_counter`` clock.
+
+Recording is gated by callers on telemetry being enabled (plus the
+health kill switch in :mod:`~repro.telemetry.health.accounting`), so
+the disabled path costs nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Events retained per rank; old events fall off the front.
+EVENT_LOG_CAPACITY = 4096
+
+
+@dataclass(slots=True)
+class HealthEvent:
+    """One structured lifecycle event on one rank's timeline.
+
+    ``kind`` is free-form but the runtime emits a small vocabulary:
+    ``schedule`` / ``start`` / ``complete`` / ``failed`` (collective
+    lifecycle, from the process-group worker), ``bucket_launch`` (the
+    reducer handing a gradient bucket to communication), and the
+    resilience incidents (``retransmit``, ``retry``,
+    ``duplicate_dropped``, ``corrupt_detected``).
+    """
+
+    kind: str
+    rank: int
+    t: float
+    iteration: Optional[int] = None
+    group: Optional[int] = None
+    seq: Optional[int] = None
+    op: Optional[str] = None
+    bucket: Optional[int] = None
+    nbytes: Optional[int] = None
+    extra: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        out = {"kind": self.kind, "rank": self.rank, "t": self.t}
+        for key in ("iteration", "group", "seq", "op", "bucket", "nbytes", "extra"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class EventLog:
+    """Bounded ring of :class:`HealthEvent` records for one rank."""
+
+    rank: int
+    capacity: int = EVENT_LOG_CAPACITY
+    _events: List[HealthEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _dropped: int = 0
+
+    def record(self, kind: str, **fields) -> HealthEvent:
+        """Append one event (timestamped now unless ``t`` is given)."""
+        t = fields.pop("t", None)
+        event = HealthEvent(
+            kind=kind,
+            rank=self.rank,
+            t=time.perf_counter() if t is None else t,
+            **fields,
+        )
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                overflow = len(self._events) - self.capacity
+                del self._events[:overflow]
+                self._dropped += overflow
+        return event
+
+    def events(self) -> List[HealthEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the capacity bound (monotonic)."""
+        return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def as_dicts(self) -> List[dict]:
+        return [event.as_dict() for event in self.events()]
+
+
+# ----------------------------------------------------------------------
+# process-wide per-rank log store (mirrors the metrics registry store)
+# ----------------------------------------------------------------------
+_logs: Dict[int, EventLog] = {}
+_logs_lock = threading.Lock()
+
+
+def event_log_for(rank: int) -> EventLog:
+    """Get-or-create the event log for ``rank``."""
+    with _logs_lock:
+        log = _logs.get(rank)
+        if log is None:
+            log = EventLog(rank)
+            _logs[rank] = log
+        return log
+
+
+def all_event_logs() -> Dict[int, EventLog]:
+    """Every rank's event log, keyed by rank."""
+    with _logs_lock:
+        return dict(_logs)
+
+
+def clear_event_logs() -> None:
+    with _logs_lock:
+        _logs.clear()
+
+
+def record_event(rank: int, kind: str, **fields) -> HealthEvent:
+    """Record one event on ``rank``'s log (creating the log on demand)."""
+    return event_log_for(rank).record(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# cross-rank stitching
+# ----------------------------------------------------------------------
+def merge_causal_timeline(
+    logs: Optional[Dict[int, EventLog]] = None,
+) -> List[dict]:
+    """Stitch per-rank logs into one causal timeline per collective.
+
+    Events carrying a ``(group, seq)`` trace context are grouped by that
+    key — the globally agreed identity of one collective — and each
+    group's events are ordered by timestamp (all ranks share the process
+    ``perf_counter`` clock, so the order is causal, not approximate).
+
+    Returns one record per collective, ordered by (group, seq)::
+
+        {"group": 0, "seq": 14, "op": "allreduce", "bucket": 3,
+         "ranks": [0, 1, 2, 3],
+         "events": [{...}, ...],            # time-ordered, all ranks
+         "t_first": ..., "t_last": ...,
+         "start_skew_s": 0.081}             # max-min of 'start' marks
+
+    ``start_skew_s`` is the straggler signature: how far apart the ranks
+    began executing the same collective.
+    """
+    if logs is None:
+        logs = all_event_logs()
+    keyed: Dict[tuple, List[HealthEvent]] = {}
+    loose: List[HealthEvent] = []
+    for log in logs.values():
+        for event in log.events():
+            if event.group is not None and event.seq is not None:
+                keyed.setdefault((event.group, event.seq), []).append(event)
+            else:
+                loose.append(event)
+
+    timeline: List[dict] = []
+    for (group, seq), events in sorted(keyed.items()):
+        events.sort(key=lambda e: e.t)
+        starts = [e.t for e in events if e.kind == "start"]
+        op = next((e.op for e in events if e.op is not None), None)
+        bucket = next((e.bucket for e in events if e.bucket is not None), None)
+        timeline.append(
+            {
+                "group": group,
+                "seq": seq,
+                "op": op,
+                "bucket": bucket,
+                "ranks": sorted({e.rank for e in events}),
+                "events": [e.as_dict() for e in events],
+                "t_first": events[0].t,
+                "t_last": events[-1].t,
+                "start_skew_s": (max(starts) - min(starts)) if len(starts) > 1 else 0.0,
+            }
+        )
+    # Events without a collective identity (heartbeats, free-form marks)
+    # are not lost — they ride along under a sentinel record.
+    if loose:
+        loose.sort(key=lambda e: e.t)
+        timeline.append(
+            {
+                "group": None,
+                "seq": None,
+                "op": None,
+                "bucket": None,
+                "ranks": sorted({e.rank for e in loose}),
+                "events": [e.as_dict() for e in loose],
+                "t_first": loose[0].t,
+                "t_last": loose[-1].t,
+                "start_skew_s": 0.0,
+            }
+        )
+    return timeline
+
+
+def seq_frontier(logs: Optional[Dict[int, EventLog]] = None) -> Dict[int, Dict[int, int]]:
+    """Per group: each rank's highest *started* collective sequence.
+
+    The desync-precursor detector compares frontiers — a rank whose
+    frontier trails the group's leader by many collectives is drifting
+    toward the hang the debug watchdog would eventually catch.
+    """
+    if logs is None:
+        logs = all_event_logs()
+    frontier: Dict[int, Dict[int, int]] = {}
+    for rank, log in logs.items():
+        for event in log.events():
+            if event.group is None or event.seq is None:
+                continue
+            if event.kind not in ("start", "complete"):
+                continue
+            per_group = frontier.setdefault(event.group, {})
+            if event.seq > per_group.get(rank, -1):
+                per_group[rank] = event.seq
+    return frontier

@@ -96,7 +96,8 @@ class Histogram:
     """Streaming distribution: exact count/sum/min/max plus a bounded
     ring of recent samples for percentile estimates."""
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_lock")
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_lock",
+                 "_nan_ignored")
 
     def __init__(self, name: str, sample_capacity: int = HISTOGRAM_SAMPLE_CAPACITY):
         self.name = name
@@ -106,9 +107,16 @@ class Histogram:
         self._max = float("-inf")
         self._samples: deque = deque(maxlen=sample_capacity)
         self._lock = threading.Lock()
+        self._nan_ignored = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if value != value:
+            # A single NaN would otherwise poison sum/min/max and every
+            # percentile forever; drop it but keep an audit count.
+            with self._lock:
+                self._nan_ignored += 1
+            return
         with self._lock:
             self._count += 1
             self._sum += value
@@ -121,6 +129,11 @@ class Histogram:
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def nan_ignored(self) -> int:
+        """Observations dropped by the NaN guard (monotonic)."""
+        return self._nan_ignored
 
     def percentile(self, q: float) -> Optional[float]:
         """Interpolated q-th percentile (0..100) from recent samples."""
@@ -139,6 +152,14 @@ class Histogram:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0, "samples": []}
         ordered = sorted(samples)
+        if not ordered:
+            # Count moved but the sample ring is empty (possible only
+            # with a zero-capacity ring): percentiles are unknowable,
+            # serve the mean rather than raising.
+            mean = total / count
+            return {"count": count, "sum": total, "min": lo, "max": hi,
+                    "mean": mean, "p50": mean, "p95": mean, "p99": mean,
+                    "samples": []}
         return {
             "count": count,
             "sum": total,
@@ -250,6 +271,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
     never an average of per-rank percentiles (which would understate the
     tail whenever one rank is the slow one).  ``samples_pooled`` reports
     how many samples backed the estimate.
+
+    Snapshots need not share a metric keyset: a rank that died mid-run
+    (shrink recovery) or never reached a code path simply contributes
+    nothing to the metrics it lacks, and partial histogram summaries
+    (e.g. sampler ticks, which drop the sample list) merge on whatever
+    fields they carry.
     """
     merged: Dict[str, Dict] = {"ranks": [], "counters": {}, "gauges": {},
                                "histograms": {}}
@@ -265,16 +292,19 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
             entry["min"] = min(entry["min"], value)
             entry["max"] = max(entry["max"], value)
         for name, summary in snap.get("histograms", {}).items():
+            if not isinstance(summary, dict):
+                continue
             entry = merged["histograms"].setdefault(
                 name,
                 {"count": 0, "sum": 0.0, "min": float("inf"),
                  "max": float("-inf"), "samples": []},
             )
-            entry["count"] += summary["count"]
-            entry["sum"] += summary["sum"]
-            if summary["count"]:
-                entry["min"] = min(entry["min"], summary["min"])
-                entry["max"] = max(entry["max"], summary["max"])
+            count = summary.get("count", 0)
+            entry["count"] += count
+            entry["sum"] += summary.get("sum", 0.0)
+            if count:
+                entry["min"] = min(entry["min"], summary.get("min", float("inf")))
+                entry["max"] = max(entry["max"], summary.get("max", float("-inf")))
             entry["samples"].extend(summary.get("samples", []))
     for entry in merged["histograms"].values():
         entry["mean"] = entry["sum"] / entry["count"] if entry["count"] else 0.0

@@ -44,6 +44,7 @@ from repro.telemetry.observatory.exporter import (
     maybe_start_from_env,
     prometheus_text,
     start_exporter,
+    stop_env_exporter,
 )
 from repro.telemetry.observatory.profiler import (
     CriticalPathProfiler,
@@ -68,4 +69,5 @@ __all__ = [
     "profile_from_detail",
     "prometheus_text",
     "start_exporter",
+    "stop_env_exporter",
 ]

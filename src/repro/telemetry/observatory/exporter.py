@@ -116,6 +116,8 @@ class PrometheusExporter:
         self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
         self._server.daemon_threads = True
         self.host, self.port = self._server.server_address[:2]
+        self._closed = False
+        self._close_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"metrics-exporter:{self.port}",
@@ -127,7 +129,16 @@ class PrometheusExporter:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Stop serving and release the port (idempotent, thread-safe)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._server.shutdown()
         self._server.server_close()
         self._thread.join(timeout=1.0)
@@ -168,3 +179,13 @@ def maybe_start_from_env() -> Optional[PrometheusExporter]:
     _spans.enable()
     _env_exporter = start_exporter(port=port)
     return _env_exporter
+
+
+def stop_env_exporter() -> None:
+    """Close the ``REPRO_METRICS_PORT`` exporter and forget it, so a
+    later :func:`maybe_start_from_env` can start fresh (idempotent; the
+    lifecycle tests' teardown hook)."""
+    global _env_exporter
+    if _env_exporter is not None:
+        _env_exporter.close()
+        _env_exporter = None

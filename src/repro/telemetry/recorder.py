@@ -184,6 +184,9 @@ class IterationRecorder:
             if launched is not None and launched >= t_ready:
                 delay_hist.observe(launched - t_ready)
         registry.gauge("iteration.overlap_ratio").set(overlap_ratio)
+        # History ring of the same ratio: the health engine's overlap-
+        # collapse detector compares early vs late samples per rank.
+        registry.histogram("iteration.overlap_ratio_dist").observe(overlap_ratio)
         registry.counter("iterations.synced").add(1)
         TRACER.record(
             f"iteration {iteration}", self.t_prepare, t_done,

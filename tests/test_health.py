@@ -1,0 +1,437 @@
+"""Comm health engine: efficiency accounting, causal event log, attribution.
+
+Covers the health acceptance surface: per-collective efficiency metrics
+(achieved bus bandwidth, chunk-pipeline utilization, receive-stall
+attribution) flowing into ``ddp_stats()["health"]`` and Prometheus, the
+cross-rank causal event log and its stitched timeline, the rule-based
+anomaly detectors on synthetic signals, and — the headline — a seeded
+fault matrix where injected faults yield the *correct* attributed
+diagnosis on every seed while fault-free runs stay silent.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import numpy as np
+import pytest
+
+from conftest import run_world
+from repro import nn, optim, telemetry
+from repro.autograd import Tensor
+from repro.resilience import FaultPlan, ReliableTransportHub, RetryPolicy
+from repro.resilience.faults import corrupt, delay, drop, slow_rank
+from repro.telemetry.health import (
+    DESYNC_PRECURSOR,
+    OVERLAP_COLLAPSE,
+    PERSISTENT_STRAGGLER,
+    RETRANSMIT_STORM,
+    SLOW_LINK,
+    Diagnosis,
+    EventLog,
+    analyze_snapshots,
+    analyze_ticks,
+    merge_causal_timeline,
+    record_event,
+    render_diagnoses,
+    seq_frontier,
+)
+from repro.core import DistributedDataParallel
+from repro.utils import manual_seed
+
+WORLD = 4
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with telemetry off and empty."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _train(rank, iterations=5, width=96, bucket_cap_mb=0.02):
+    """One rank of a multi-bucket DDP loop; returns ddp_stats()."""
+    manual_seed(3)
+    net = nn.Sequential(
+        nn.Linear(32, width), nn.ReLU(), nn.Linear(width, width), nn.ReLU(),
+        nn.Linear(width, 8),
+    )
+    ddp = DistributedDataParallel(net, bucket_cap_mb=bucket_cap_mb)
+    opt = optim.SGD(ddp.parameters(), lr=0.01)
+    loss_fn = nn.CrossEntropyLoss()
+    rng = np.random.default_rng(rank)
+    for _ in range(iterations):
+        inp = Tensor(rng.standard_normal((16, 32)))
+        exp = rng.integers(0, 8, 16)
+        opt.zero_grad()
+        loss_fn(ddp(inp), exp).backward()
+        opt.step()
+    return ddp.ddp_stats()
+
+
+# ----------------------------------------------------------------------
+# event log + causal stitching (unit)
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_ring_is_bounded_and_counts_drops(self):
+        log = EventLog(rank=0, capacity=8)
+        for seq in range(12):
+            log.record("start", group=0, seq=seq)
+        assert log.depth() == 8
+        assert log.dropped == 4
+        assert [e.seq for e in log.events()] == list(range(4, 12))
+
+    def test_merge_stitches_by_group_seq_and_measures_skew(self):
+        logs = {rank: EventLog(rank=rank) for rank in (0, 1)}
+        logs[0].record("start", t=1.00, group=0, seq=5, op="allreduce", bucket=2)
+        logs[1].record("start", t=1.08, group=0, seq=5, op="allreduce")
+        logs[0].record("complete", t=1.20, group=0, seq=5)
+        logs[1].record("heartbeat", t=0.5)  # no trace context
+        timeline = merge_causal_timeline(logs)
+        keyed = [r for r in timeline if r["seq"] is not None]
+        assert len(keyed) == 1
+        record = keyed[0]
+        assert record["ranks"] == [0, 1]
+        assert record["op"] == "allreduce" and record["bucket"] == 2
+        assert record["start_skew_s"] == pytest.approx(0.08)
+        assert [e["kind"] for e in record["events"]] == [
+            "start", "start", "complete"
+        ]
+        loose = [r for r in timeline if r["seq"] is None]
+        assert len(loose) == 1 and loose[0]["events"][0]["kind"] == "heartbeat"
+
+    def test_seq_frontier_tracks_highest_started_seq(self):
+        logs = {rank: EventLog(rank=rank) for rank in (0, 1)}
+        for seq in range(6):
+            logs[0].record("start", group=0, seq=seq)
+        logs[1].record("start", group=0, seq=1)
+        logs[1].record("schedule", group=0, seq=9)  # scheduled != started
+        assert seq_frontier(logs) == {0: {0: 5, 1: 1}}
+
+
+# ----------------------------------------------------------------------
+# detectors over synthetic signals (unit)
+# ----------------------------------------------------------------------
+def _snap(rank, counters=None, histograms=None):
+    return {
+        "rank": rank,
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": histograms or {},
+    }
+
+
+class TestDetectors:
+    def test_straggler_needs_multiple_reporters(self):
+        snaps = [
+            _snap(0, {"comm.recv_stall_s.from_rank_1": 0.5}),
+            _snap(1),
+            _snap(2, {"comm.recv_stall_s.from_rank_1": 0.4}),
+            _snap(3, {"comm.recv_stall_s.from_rank_0": 0.05}),
+        ]
+        diagnoses = analyze_snapshots(snaps)
+        assert [d.kind for d in diagnoses] == [PERSISTENT_STRAGGLER]
+        straggler = diagnoses[0]
+        assert straggler.culprit_rank == 1
+        assert straggler.evidence["reporters"] == [0, 2]
+        assert straggler.confidence > 0.9
+
+    def test_single_reporter_is_a_slow_link(self):
+        snaps = [
+            _snap(0),
+            _snap(2, {"comm.recv_stall_s.from_rank_3": 0.6}),
+        ]
+        diagnoses = analyze_snapshots(snaps)
+        assert [d.kind for d in diagnoses] == [SLOW_LINK]
+        assert diagnoses[0].culprit_edge == (3, 2)
+
+    def test_stall_below_floor_or_dominance_stays_silent(self):
+        # Under the absolute floor: silence.
+        assert analyze_snapshots(
+            [_snap(0, {"comm.recv_stall_s.from_rank_1": 0.1})]
+        ) == []
+        # Over the floor but spread evenly across sources: silence.
+        assert analyze_snapshots(
+            [
+                _snap(0, {"comm.recv_stall_s.from_rank_1": 0.5,
+                          "comm.recv_stall_s.from_rank_2": 0.45}),
+            ]
+        ) == []
+
+    def test_retransmit_storm_fires_on_rate_not_raw_count(self):
+        base = {"health.collectives_accounted": 20.0}
+        storm = dict(base, **{"transport.retries": 18.0,
+                              "transport.retransmits": 14.0})
+        diagnoses = analyze_snapshots([_snap(0, base), _snap(2, storm)])
+        assert [d.kind for d in diagnoses] == [RETRANSMIT_STORM]
+        assert diagnoses[0].culprit_rank == 2
+        assert diagnoses[0].evidence["total_storm_events"] == 32
+        # Same raw count over a long healthy run: below the per-collective
+        # rate gate, so no diagnosis.
+        long_run = dict(storm, **{"health.collectives_accounted": 500.0})
+        assert analyze_snapshots([_snap(0, base), _snap(2, long_run)]) == []
+
+    def test_overlap_collapse_compares_late_to_own_early_mean(self):
+        collapsed = _snap(1, histograms={
+            "iteration.overlap_ratio_dist": {
+                "count": 12, "samples": [0.6] * 6 + [0.1] * 6,
+            }
+        })
+        diagnoses = analyze_snapshots([collapsed])
+        assert [d.kind for d in diagnoses] == [OVERLAP_COLLAPSE]
+        assert diagnoses[0].culprit_rank == 1
+        # A rank that never overlapped well has nothing to collapse from.
+        never_good = _snap(1, histograms={
+            "iteration.overlap_ratio_dist": {
+                "count": 12, "samples": [0.1] * 12,
+            }
+        })
+        assert analyze_snapshots([never_good]) == []
+
+    def test_desync_precursor_reads_the_live_event_frontier(self):
+        for seq in range(20):
+            record_event(0, "start", group=0, seq=seq)
+        record_event(1, "start", group=0, seq=2)
+        diagnoses = analyze_snapshots()
+        assert [d.kind for d in diagnoses] == [DESYNC_PRECURSOR]
+        assert diagnoses[0].culprit_rank == 1
+        assert diagnoses[0].evidence["spread"] == 17
+
+    def test_render_and_as_dict(self):
+        assert render_diagnoses([]) == "no anomalies detected\n"
+        diagnosis = Diagnosis(
+            kind=SLOW_LINK, summary="edge 0→2 is slow",
+            culprit_edge=(0, 2), confidence=0.87654, evidence={"x": 1},
+        )
+        rendered = render_diagnoses([diagnosis])
+        assert "slow_link" in rendered and "confidence 0.88" in rendered
+        payload = diagnosis.as_dict()
+        assert payload["culprit_edge"] == [0, 2]
+        assert payload["confidence"] == 0.877
+        json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
+# efficiency accounting on a live healthy run
+# ----------------------------------------------------------------------
+class TestEfficiencyAccounting:
+    def test_health_section_and_metrics_populated(self):
+        telemetry.enable()
+        stats = run_world(WORLD, _train, backend="gloo", timeout=60.0)
+        health = stats[0]["health"]
+        assert health["enabled"]
+        assert health["collectives_accounted"] > 0
+        busbw = health["achieved_busbw_gbps"]
+        assert busbw is not None and busbw["mean"] > 0
+        util = health["chunk_pipeline_utilization"]
+        assert util is not None and 0 < util["mean"] <= 1.0
+        latency = health["collective_latency_s"]
+        assert latency["count"] == health["collectives_accounted"]
+        assert health["recv_stall_s"] >= 0.0
+        assert health["event_log_depth"] > 0
+        # gloo has a cost model, so the expectation ratio rides along.
+        assert health["model_efficiency"] is not None
+        assert health["diagnoses"] == []  # healthy run stays silent
+        json.dumps(health)
+
+    def test_lifecycle_events_stitch_across_all_ranks(self):
+        telemetry.enable()
+        run_world(WORLD, _train, backend="gloo", timeout=60.0)
+        timeline = [r for r in merge_causal_timeline() if r["seq"] is not None]
+        assert timeline
+        allreduces = [r for r in timeline if r["op"] == "allreduce"]
+        assert allreduces
+        for record in allreduces:
+            assert record["ranks"] == list(range(WORLD))
+            kinds = {e["kind"] for e in record["events"]}
+            assert {"schedule", "start", "complete"} <= kinds
+            assert record["start_skew_s"] >= 0.0
+            assert record["t_last"] >= record["t_first"]
+        # Everyone finished the same collectives: frontier spread is 0.
+        for per_rank in seq_frontier().values():
+            assert len(set(per_rank.values())) == 1
+
+    def test_prometheus_carries_the_health_metrics(self):
+        from repro.telemetry.observatory import prometheus_text
+
+        telemetry.enable()
+        run_world(WORLD, _train, backend="gloo", timeout=60.0)
+        text = prometheus_text()
+        assert "repro_comm_achieved_busbw_gbps" in text
+        assert "repro_comm_chunk_pipeline_utilization" in text
+        assert "repro_health_collectives_accounted_total" in text
+
+    def test_disabled_accounting_records_nothing(self):
+        stats = run_world(WORLD, _train, backend="gloo", timeout=60.0)
+        health = stats[0]["health"]
+        assert not health["enabled"]
+        assert health["collectives_accounted"] == 0
+        assert health["achieved_busbw_gbps"] is None
+        assert health["event_log_depth"] == 0
+        assert health["diagnoses"] == []
+
+
+# ----------------------------------------------------------------------
+# the seeded fault matrix — injected fault => correct attribution
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1])
+class TestFaultMatrix:
+    def test_slow_rank_attributed_as_persistent_straggler(self, seed):
+        telemetry.enable()
+        plan = FaultPlan([slow_rank(1, seconds=0.01)], seed=seed)
+        run_world(WORLD, _train, backend="gloo", timeout=60.0, fault_plan=plan)
+        diagnoses = analyze_snapshots()
+        assert {d.kind for d in diagnoses} == {PERSISTENT_STRAGGLER}
+        assert diagnoses[0].culprit_rank == 1
+        assert len(diagnoses[0].evidence["reporters"]) >= 2
+
+    def test_drop_attributed_as_retransmit_storm(self, seed):
+        telemetry.enable()
+        hub = ReliableTransportHub(
+            WORLD, default_timeout=30.0,
+            retry=RetryPolicy(base_backoff=0.001), seed=seed,
+        )
+        plan = FaultPlan([drop(rank=0, dst=2, probability=0.5)], seed=seed)
+        run_world(WORLD, _train, backend="gloo", timeout=60.0,
+                  hub=hub, fault_plan=plan)
+        kinds = {d.kind: d for d in analyze_snapshots()}
+        assert RETRANSMIT_STORM in kinds
+        storm = kinds[RETRANSMIT_STORM]
+        assert storm.culprit_rank == 2
+        assert storm.culprit_edge == (0, 2)
+        assert PERSISTENT_STRAGGLER not in kinds
+
+    def test_corrupt_attributed_as_retransmit_storm(self, seed):
+        telemetry.enable()
+        hub = ReliableTransportHub(
+            WORLD, default_timeout=30.0,
+            retry=RetryPolicy(base_backoff=0.001), seed=seed,
+        )
+        plan = FaultPlan([corrupt(rank=0, dst=2, probability=0.5)], seed=seed)
+        run_world(WORLD, _train, backend="gloo", timeout=60.0,
+                  hub=hub, fault_plan=plan)
+        kinds = {d.kind: d for d in analyze_snapshots()}
+        assert RETRANSMIT_STORM in kinds
+        assert kinds[RETRANSMIT_STORM].culprit_rank == 2
+
+    def test_fault_free_run_yields_zero_diagnoses(self, seed):
+        telemetry.enable()
+        hub = ReliableTransportHub(
+            WORLD, default_timeout=30.0,
+            retry=RetryPolicy(base_backoff=0.001), seed=seed,
+        )
+        run_world(WORLD, _train, backend="gloo", timeout=60.0, hub=hub)
+        assert analyze_snapshots() == []
+
+
+class TestSlowLinkAttribution:
+    def test_single_reporter_delay_attributed_to_the_edge(self):
+        # The injector's delay sleeps on the sender thread, so in a big
+        # world an "edge" delay transitively slows every send from that
+        # rank — correctly read as a straggler.  With one peer there is
+        # only one possible reporter, and the engine must say *link*,
+        # not rank: one witness cannot establish a rank-wide pattern.
+        telemetry.enable()
+        plan = FaultPlan([delay(0.02, rank=1, dst=0)], seed=0)
+        run_world(2, _train, backend="gloo", timeout=60.0, fault_plan=plan)
+        kinds = {d.kind: d for d in analyze_snapshots()}
+        assert SLOW_LINK in kinds
+        assert kinds[SLOW_LINK].culprit_edge == (1, 0)
+        assert PERSISTENT_STRAGGLER not in kinds
+
+
+# ----------------------------------------------------------------------
+# offline: sampler ticks and the healthctl CLI
+# ----------------------------------------------------------------------
+def _tick(generation, per_rank):
+    return {
+        "generation": generation,
+        "time_unix": 0.0,
+        "ranks": [s["rank"] for s in per_rank],
+        "aggregate": {},
+        "per_rank": per_rank,
+    }
+
+
+def _storm_ticks():
+    per_rank = [
+        _snap(0, {"health.collectives_accounted": 20.0}),
+        _snap(2, {"health.collectives_accounted": 20.0,
+                  "transport.retries": 25.0, "transport.retransmits": 15.0}),
+    ]
+    return [_tick(0, per_rank)]
+
+
+class TestOfflineAnalysis:
+    def test_analyze_ticks_reports_the_storm(self):
+        report = analyze_ticks(_storm_ticks())
+        assert report["ticks"] == 1 and report["ranks"] == [0, 2]
+        assert report["storm_events"] == 40
+        assert [d["kind"] for d in report["diagnoses"]] == [RETRANSMIT_STORM]
+        assert report["diagnoses"][0]["culprit_rank"] == 2
+
+    def test_analyze_ticks_follows_overlap_gauge_transitions(self):
+        ticks = []
+        for generation, value in enumerate([0.6, 0.6, 0.6, 0.05, 0.05, 0.05]):
+            snap = _snap(0)
+            snap["gauges"]["iteration.overlap_ratio"] = value
+            ticks.append(_tick(generation, [snap]))
+        # Repeated gauge readings collapse to transitions: only 2 points,
+        # under the sample floor — no diagnosis from tick cadence alone.
+        assert analyze_ticks(ticks)["diagnoses"] == []
+
+    def test_empty_input(self):
+        assert analyze_ticks([]) == {"ticks": 0, "ranks": [], "diagnoses": []}
+
+
+def _load_healthctl():
+    path = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        "tools", "healthctl.py")
+    spec = importlib.util.spec_from_file_location("healthctl", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHealthctlCLI:
+    def test_report_and_fail_on_diagnosis_gate(self, tmp_path, capsys):
+        healthctl = _load_healthctl()
+        dump = tmp_path / "metrics.jsonl"
+        dump.write_text(
+            "\n".join(json.dumps(t) for t in _storm_ticks()) + "\n"
+        )
+        out_json = tmp_path / "report.json"
+        assert healthctl.main([str(dump), "--json", str(out_json)]) == 0
+        printed = capsys.readouterr().out
+        assert "retransmit_storm" in printed
+        report = json.loads(out_json.read_text())
+        assert report["diagnoses"][0]["culprit_rank"] == 2
+        # The CI gate: same dump, --fail-on-diagnosis exits 1.
+        assert healthctl.main([str(dump), "--fail-on-diagnosis"]) == 1
+
+    def test_clean_dump_passes_the_gate(self, tmp_path):
+        healthctl = _load_healthctl()
+        dump = tmp_path / "clean.jsonl"
+        clean = _tick(0, [_snap(0, {"health.collectives_accounted": 30.0})])
+        dump.write_text(json.dumps(clean) + "\n")
+        assert healthctl.main([str(dump), "--fail-on-diagnosis"]) == 0
+
+    def test_threshold_overrides_and_bad_inputs(self, tmp_path):
+        healthctl = _load_healthctl()
+        dump = tmp_path / "metrics.jsonl"
+        dump.write_text(
+            "\n".join(json.dumps(t) for t in _storm_ticks()) + "\n"
+        )
+        # Raising the storm floor above the event count silences it.
+        assert healthctl.main(
+            [str(dump), "--storm-min-events", "1000", "--fail-on-diagnosis"]
+        ) == 0
+        assert healthctl.main([str(tmp_path / "missing.jsonl")]) == 2
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        assert healthctl.main([str(garbage)]) == 2

@@ -33,6 +33,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.observatory import (
     CriticalPathProfiler,
     MetricsSampler,
+    PrometheusExporter,
     profile_from_detail,
     prometheus_text,
     start_exporter,
@@ -492,3 +493,171 @@ class TestMergedTimeline:
         from repro.telemetry import merged_trace_events
 
         assert merged_trace_events() == []
+
+
+# ----------------------------------------------------------------------
+# histogram edge cases: empty, single-sample, NaN guard
+# ----------------------------------------------------------------------
+class TestHistogramEdgeCases:
+    def test_empty_histogram_summary_is_all_zeros(self):
+        hist = MetricsRegistry(rank=0).histogram("empty")
+        summary = hist.summary()
+        assert summary["count"] == 0 and summary["sum"] == 0.0
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+        assert hist.percentile(99) is None
+        with pytest.raises(ValueError):
+            percentile_of([], 50)
+
+    def test_single_sample_serves_itself_at_every_percentile(self):
+        hist = MetricsRegistry(rank=0).histogram("one")
+        hist.observe(7.5)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == summary["min"] == summary["max"] == 7.5
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7.5
+        assert percentile_of([7.5], 99) == 7.5
+
+    def test_nan_observations_are_dropped_not_poisonous(self):
+        hist = MetricsRegistry(rank=0).histogram("guarded")
+        hist.observe(1.0)
+        hist.observe(float("nan"))
+        hist.observe(3.0)
+        assert hist.count == 2
+        assert hist.nan_ignored == 1
+        summary = hist.summary()
+        assert summary["sum"] == 4.0 and summary["mean"] == 2.0
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        # Every served number is a number.
+        assert all(v == v for k, v in summary.items() if k != "samples")
+
+    def test_zero_capacity_ring_serves_mean_for_percentiles(self):
+        from repro.telemetry.metrics import Histogram
+
+        hist = Histogram("ringless", sample_capacity=0)
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["p50"] == summary["p99"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# merge_snapshots over ragged keysets (shrink recovery)
+# ----------------------------------------------------------------------
+class TestMergeRaggedSnapshots:
+    def test_ranks_need_not_share_a_keyset(self):
+        # Rank 1 died before ever touching the histogram or the counter
+        # (shrink-to-survive recovery): it must not zero out or poison
+        # the survivors' aggregates.
+        r0, r1 = MetricsRegistry(rank=0), MetricsRegistry(rank=1)
+        r0.counter("steps").add(5)
+        r0.histogram("lat").observe(0.5)
+        r1.gauge("alive").set(0.0)
+        merged = merge_snapshots([r0.snapshot(), r1.snapshot()])
+        assert merged["ranks"] == [0, 1]
+        assert merged["counters"]["steps"] == 5
+        assert merged["histograms"]["lat"]["count"] == 1
+        assert merged["histograms"]["lat"]["p99"] == pytest.approx(0.5)
+        assert merged["gauges"]["alive"]["per_rank"] == {1: 0.0}
+
+    def test_tick_style_summaries_without_samples_merge(self):
+        # Sampler ticks drop the raw sample list; the merge must still
+        # pool count/sum/min/max and fall back cleanly on percentiles.
+        tick_hist = {"count": 4, "sum": 8.0, "min": 1.0, "max": 3.0}
+        live = MetricsRegistry(rank=0)
+        live.histogram("lat").observe(10.0)
+        merged = merge_snapshots([
+            live.snapshot(),
+            {"rank": 1, "counters": {}, "gauges": {},
+             "histograms": {"lat": tick_hist}},
+        ])
+        entry = merged["histograms"]["lat"]
+        assert entry["count"] == 5 and entry["sum"] == 18.0
+        assert entry["min"] == 1.0 and entry["max"] == 10.0
+        # Percentiles come from the one retained sample pool.
+        assert entry["samples_pooled"] == 1
+        assert entry["p50"] == pytest.approx(10.0)
+
+    def test_malformed_histogram_entries_are_skipped(self):
+        merged = merge_snapshots([
+            {"rank": 0, "counters": {}, "gauges": {},
+             "histograms": {"lat": "garbage"}},
+        ])
+        assert merged["histograms"] == {}
+
+
+# ----------------------------------------------------------------------
+# exporter lifecycle: concurrent scrapes, idempotent close, env opt-in
+# ----------------------------------------------------------------------
+class TestExporterLifecycle:
+    def test_concurrent_scrapes_all_succeed(self):
+        registry_for(0).counter("busy.metric").add(1)
+        exporter = start_exporter(port=0)
+        results, errors = [], []
+
+        def scrape():
+            try:
+                with urllib.request.urlopen(exporter.url, timeout=10) as resp:
+                    results.append((resp.status, resp.read().decode()))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=scrape) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+            assert len(results) == 8
+            for status, body in results:
+                assert status == 200
+                assert "repro_busy_metric_total" in body
+        finally:
+            exporter.close()
+
+    def test_close_is_idempotent_and_releases_the_port(self):
+        exporter = start_exporter(port=0)
+        assert not exporter.closed
+        exporter.close()
+        assert exporter.closed
+        exporter.close()  # second close is a no-op, not an error
+        with pytest.raises(Exception):
+            urllib.request.urlopen(exporter.url, timeout=2)
+        # The port is free again: a new exporter can bind it.
+        rebound = PrometheusExporter("127.0.0.1", exporter.port)
+        try:
+            assert rebound.port == exporter.port
+        finally:
+            rebound.close()
+
+    def test_env_opt_in_lifecycle(self, monkeypatch):
+        from repro.telemetry.observatory import (
+            maybe_start_from_env,
+            stop_env_exporter,
+        )
+
+        monkeypatch.delenv("REPRO_METRICS_PORT", raising=False)
+        assert maybe_start_from_env() is None
+        monkeypatch.setenv("REPRO_METRICS_PORT", "not-a-port")
+        assert maybe_start_from_env() is None
+        monkeypatch.setenv("REPRO_METRICS_PORT", "0")
+        exporter = maybe_start_from_env()
+        try:
+            assert exporter is not None
+            # Asking for a scrape endpoint implies enabling telemetry.
+            assert telemetry.is_enabled()
+            # Idempotent: a second call returns the same running server.
+            assert maybe_start_from_env() is exporter
+            with urllib.request.urlopen(exporter.url, timeout=5) as resp:
+                assert resp.status == 200
+        finally:
+            stop_env_exporter()
+        assert exporter.closed
+        # The slate is clean: a later opt-in starts a fresh server.
+        monkeypatch.setenv("REPRO_METRICS_PORT", "0")
+        fresh = maybe_start_from_env()
+        assert fresh is not None and fresh is not exporter
+        stop_env_exporter()
+        assert fresh.closed
