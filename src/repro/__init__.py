@@ -53,6 +53,7 @@ from repro import (
     nn,
     optim,
     rpc,
+    sharded,
     simnet,
     simulation,
     telemetry,
@@ -74,6 +75,7 @@ __all__ = [
     "nn",
     "optim",
     "rpc",
+    "sharded",
     "simnet",
     "simulation",
     "telemetry",

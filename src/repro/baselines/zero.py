@@ -1,24 +1,27 @@
-"""ZeRO-style optimizer-state sharding (paper §7 related work).
+"""ZeRO stage-1 baseline, now a thin adapter over :mod:`repro.sharded`.
 
 The paper describes ZeRO as "data parallelism with minimum model
-replication": parameters, gradients, and optimizer states are
-partitioned across DDP instances, trading extra communication for
-memory.  This module implements the stage-1 idea (optimizer-state
-sharding, PyTorch's ``ZeroRedundancyOptimizer``) on this library's
-stack:
+replication" (§7).  Earlier revisions of this module implemented a toy
+stage-1 by whole-parameter greedy partitioning plus one broadcast per
+parameter; it is now an adapter over
+:class:`repro.sharded.optimizer.ShardedOptimizer`, which shards by
+*flat spans* (balanced to ±1 element) and restores replicas with one
+pipelined ``all_gather_flat`` per bucket instead of per-parameter
+broadcasts.  The public surface the ablation experiments use is
+unchanged:
 
-* parameters are partitioned across ranks (greedy by size, largest
-  first, to balance shards);
-* after DDP's backward (gradients already averaged everywhere), each
-  rank runs the real optimizer **only on its own shard** — so momentum
-  / Adam moments exist once per parameter across the cluster instead of
-  once per rank;
-* each updated parameter is then broadcast from its owner, restoring
-  identical replicas.
+* construct with ``(params, optimizer_factory, process_group)``;
+* after DDP's backward (gradients already averaged everywhere), call
+  :meth:`ZeroRedundancyOptimizer.step` — each rank updates only its
+  shard, then every replica is made identical again;
+* ``owner_of`` still maps parameter index → rank, now the rank whose
+  span holds the parameter's first flat element (deterministic and
+  size-balanced, as the flat order splits by elements).
 
-Mathematically equivalent to running the full optimizer on every rank;
-the win is memory: per-rank optimizer state shrinks by ~world_size
-(see :func:`repro.simulation.memory.memory_report`).
+Mathematically equivalent to running the full optimizer on every rank —
+elementwise updates make span sharding exact, not approximate; the win
+is memory: per-rank optimizer state shrinks by ~world_size (see
+:func:`repro.simulation.memory.memory_report`).
 """
 
 from __future__ import annotations
@@ -26,10 +29,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.comm.process_group import ProcessGroup
+from repro.sharded.flat import FlatShardLayout, unit_bucket_specs
+from repro.sharded.optimizer import ShardedOptimizer
 
 
 class ZeroRedundancyOptimizer:
-    """Shards an optimizer's state across a process group.
+    """Shards an optimizer's state across a process group (ZeRO-1).
 
     Parameters
     ----------
@@ -37,9 +42,9 @@ class ZeroRedundancyOptimizer:
         The model's parameters (same order on every rank).
     optimizer_factory:
         ``lambda shard_params: SGD(shard_params, ...)`` — constructs the
-        local optimizer over this rank's shard only.
+        inner optimizer over this rank's shard tensors only.
     process_group:
-        Group used to broadcast updated shards.
+        Group used to re-gather updated parameter spans.
     """
 
     def __init__(
@@ -52,51 +57,55 @@ class ZeroRedundancyOptimizer:
         if not self.params:
             raise ValueError("ZeroRedundancyOptimizer got no parameters")
         self.process_group = process_group
-        self.world = process_group.size
+        self.world = int(process_group.size)
         self.rank = process_group.group_rank
 
+        # One bucket in forward parameters() order: the flat
+        # concatenation whose spans define ownership.
+        layout = FlatShardLayout(
+            self.params,
+            self.world,
+            specs=unit_bucket_specs([list(range(len(self.params)))], self.params),
+        )
+        self._sharded = ShardedOptimizer(
+            self.params,
+            optimizer_factory,
+            process_group=process_group,
+            layout=layout,
+            gather_after_step=True,
+        )
+        self.layout = layout
         self.owner_of: Dict[int, int] = self._partition()
-        shard = [p for i, p in enumerate(self.params) if self.owner_of[i] == self.rank]
-        # A rank can own nothing for tiny models; keep a well-formed
-        # optimizer anyway by handing it an empty-grad sentinel list.
-        self.local_optimizer = optimizer_factory(shard) if shard else None
-        self._shard_indices = [i for i in range(len(self.params)) if self.owner_of[i] == self.rank]
+        self.local_optimizer = self._sharded.inner
 
     def _partition(self) -> Dict[int, int]:
-        """Greedy largest-first balancing of parameter elements.
-
-        Deterministic given (sizes, world), so every rank computes the
-        same ownership map without communication.
-        """
-        loads = [0] * self.world
+        """Primary owner of each parameter: the rank whose span contains
+        its first flat element.  Deterministic given (sizes, world) —
+        every rank computes the same map without communication."""
         owner: Dict[int, int] = {}
-        order = sorted(
-            range(len(self.params)),
-            key=lambda i: (-self.params[i].numel(), i),
-        )
-        for index in order:
-            target = min(range(self.world), key=lambda r: (loads[r], r))
-            owner[index] = target
-            loads[target] += self.params[index].numel()
+        spans = self.layout.spans[0]
+        for index, offset, _ in self.layout.bucket_entries(0):
+            for rank, (lo, hi) in enumerate(spans):
+                if lo <= offset < hi:
+                    owner[index] = rank
+                    break
         return owner
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Update the local shard, then broadcast every parameter from
-        its owner (one collective per parameter, in index order)."""
-        if self.local_optimizer is not None:
-            self.local_optimizer.step()
-        for index, param in enumerate(self.params):
-            self.process_group.broadcast(param, src=self.owner_of[index])
+        """Update the local span shard, then all-gather every bucket's
+        updated spans so replicas are identical again."""
+        self._sharded.set_grads_from_params()
+        self._sharded.step()
 
     def zero_grad(self) -> None:
-        for param in self.params:
-            param.grad = None
+        """Clear parameter and shard gradients."""
+        self._sharded.zero_grad()
 
     # ------------------------------------------------------------------
     def shard_numel(self) -> int:
         """Number of parameter elements whose optimizer state lives here."""
-        return sum(self.params[i].numel() for i in self._shard_indices)
+        return self._sharded.shard_numel()
 
     def state_bytes(self, bytes_per_element: int = 8) -> int:
         """Approximate local optimizer-state footprint (one slot per

@@ -507,6 +507,118 @@ def reduce_scatter(
     return flat[owned_lo:owned_hi]
 
 
+def reduce_scatter_flat(
+    hub: TransportHub,
+    ranks: Sequence[int],
+    me: int,
+    buffer: np.ndarray,
+    op: str = "sum",
+    tag: object = "rsflat",
+    timeout: float | None = None,
+    chunk_bytes: int | None = None,
+) -> np.ndarray:
+    """Chunked ring reduce-scatter over contiguous spans; returns rank
+    ``me``'s fully reduced span.
+
+    The buffer is partitioned with :func:`partition_spans` into ``p``
+    contiguous spans and rank ``r`` receives the reduction of span ``r``
+    — the ownership convention the sharded (ZeRO) stack builds on: the
+    span a rank reduces here is exactly the span it owns in
+    ``all_gather_into_flat`` and in the sharded optimizer's state
+    partition.  The caller's buffer is left untouched (reductions run on
+    a private copy), so gradients can be reused after the collective.
+
+    Cost per rank: (p−1)α + ((p−1)/p)·n·β — phase 1 of the ring
+    AllReduce.  Spans larger than ``chunk_bytes`` are pipelined as
+    several in-flight chunks; empty spans (``n < p``) still exchange one
+    empty chunk per step so the message protocol stays aligned.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
+    fn = _reduce_fn(op)
+    world = len(ranks)
+    flat = buffer.reshape(-1)
+    segments = partition_spans(flat.size, world)
+    if world == 1:
+        return flat.copy()
+    work = flat.copy()
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
+    right = ranks[(me + 1) % world]
+    left = ranks[(me - 1) % world]
+    # The allreduce_ring schedule shifted by one slot, so after world-1
+    # steps rank r holds the fully reduced segment r (not (r+1) % p).
+    for step in range(world - 1):
+        send_lo, send_hi = segments[(me - step - 1) % world]
+        recv_lo, recv_hi = segments[(me - step - 2) % world]
+        for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
+            hub.send(ranks[me], right, (tag, "rs", step, c), work[lo:hi].copy())
+        for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
+            incoming = _recv(hub, ranks[me], left, (tag, "rs", step, c), timeout)
+            fn(work[lo:hi], incoming, out=work[lo:hi])
+    owned_lo, owned_hi = segments[me]
+    # Copy the owned span out so the world-sized scratch is collectable.
+    return work[owned_lo:owned_hi].copy()
+
+
+def all_gather_into_flat(
+    hub: TransportHub,
+    ranks: Sequence[int],
+    me: int,
+    buffer: np.ndarray,
+    shard: np.ndarray | None = None,
+    tag: object = "agflat",
+    timeout: float | None = None,
+    chunk_bytes: int | None = None,
+) -> None:
+    """Chunked ring allgather of per-rank spans into one flat buffer.
+
+    The inverse of :func:`reduce_scatter_flat`: ``buffer`` (in place) is
+    partitioned with :func:`partition_spans` and, after the call, every
+    rank holds all ``p`` spans.  Rank ``r`` contributes span ``r`` —
+    taken from ``shard`` when given (it must match the span's element
+    count), otherwise from the buffer's own span, so callers that keep
+    only their shard materialize the full tensor without staging it
+    first.
+
+    Cost per rank: (p−1)α + ((p−1)/p)·n·β — phase 2 of the ring
+    AllReduce.  Spans larger than ``chunk_bytes`` are pipelined as
+    several in-flight chunks; empty spans still exchange one empty chunk
+    per step so the message protocol stays aligned.
+
+    Thread-safety: safe to run concurrently on every rank thread of the
+    group (one call per rank per ``tag``).
+    """
+    world = len(ranks)
+    flat = buffer.reshape(-1)
+    segments = partition_spans(flat.size, world)
+    my_lo, my_hi = segments[me]
+    if shard is not None:
+        contribution = np.asarray(shard).reshape(-1)
+        if contribution.size != my_hi - my_lo:
+            raise ValueError(
+                f"shard has {contribution.size} elements but rank {me}'s "
+                f"span of a {flat.size}-element buffer over {world} ranks "
+                f"holds {my_hi - my_lo}"
+            )
+        flat[my_lo:my_hi] = contribution
+    if world == 1:
+        buffer.reshape(-1)[...] = flat
+        return
+    celems = _chunk_elems(chunk_bytes, flat.dtype)
+    right = ranks[(me + 1) % world]
+    left = ranks[(me - 1) % world]
+    for step in range(world - 1):
+        send_lo, send_hi = segments[(me - step) % world]
+        recv_lo, recv_hi = segments[(me - step - 1) % world]
+        for c, (lo, hi) in enumerate(_chunk_spans(send_lo, send_hi, celems)):
+            hub.send(ranks[me], right, (tag, "ag", step, c), flat[lo:hi].copy())
+        for c, (lo, hi) in enumerate(_chunk_spans(recv_lo, recv_hi, celems)):
+            incoming = _recv(hub, ranks[me], left, (tag, "ag", step, c), timeout)
+            flat[lo:hi] = incoming
+    buffer.reshape(-1)[...] = flat
+
+
 def reduce(
     hub: TransportHub,
     ranks: Sequence[int],

@@ -719,6 +719,85 @@ class ProcessGroup:
                      fingerprint=signature)
         return result[0]
 
+    def reduce_scatter_flat(self, tensor, op: str = ReduceOp.SUM, async_op: bool = False):
+        """Reduce across the group and return this rank's contiguous span.
+
+        The flat tensor is partitioned with
+        :func:`~repro.comm.algorithms.partition_spans`; rank ``r`` gets
+        back the fully reduced span ``r`` as a new array (the caller's
+        tensor is not modified).  This is the gradient-sharding
+        primitive of the ZeRO stages (:mod:`repro.sharded`).  With
+        ``async_op=True`` returns a :class:`Work` whose ``result[0]``
+        holds the span after ``wait()``.
+        """
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        tag = self._next_tag("reduce_scatter_flat")
+        seq = tag[1]
+        signature = _desync.fingerprint("reduce_scatter_flat", array, reduce_op=op)
+        self.bytes_communicated += array.nbytes
+        self._record_op_metrics("reduce_scatter_flat", array.nbytes)
+        result: list = [None]
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            try:
+                result[0] = algorithms.reduce_scatter_flat(
+                    self.hub, self.ranks, self.group_rank, array, op, tag,
+                    self.timeout, self.chunk_bytes,
+                )
+            except TransportTimeoutError as exc:
+                raise CollectiveTimeoutError(str(exc)) from exc
+
+        meta = {"op": "reduce_scatter_flat", "seq": seq, "bytes": array.nbytes,
+                "reduce_op": op, "group": self._group_id}
+        work = self._submit(
+            run, f"reduce_scatter_flat#{seq}", async_op, meta=meta,
+            fingerprint=signature,
+        )
+        if async_op:
+            work.result = result  # type: ignore[attr-defined]
+            return work
+        return result[0]
+
+    def all_gather_flat(self, tensor, shard=None, async_op: bool = False):
+        """Fill ``tensor`` in place with every rank's contiguous span.
+
+        The inverse of :meth:`reduce_scatter_flat`: the flat tensor is
+        partitioned with
+        :func:`~repro.comm.algorithms.partition_spans` and after the
+        collective every rank holds all spans.  Rank ``r`` contributes
+        span ``r`` — from ``shard`` when given (its element count must
+        match the span), otherwise from the tensor's own span.  This is
+        the parameter-materialization primitive of the ZeRO stages
+        (:mod:`repro.sharded`).
+        """
+        self._check_device(tensor)
+        array = _as_array(tensor)
+        shard_array = None if shard is None else _as_array(shard)
+        tag = self._next_tag("all_gather_flat")
+        seq = tag[1]
+        signature = _desync.fingerprint("all_gather_flat", array)
+        self.bytes_communicated += array.nbytes
+        self._record_op_metrics("all_gather_flat", array.nbytes)
+
+        def run() -> None:
+            self._check_signature(seq, signature)
+            try:
+                algorithms.all_gather_into_flat(
+                    self.hub, self.ranks, self.group_rank, array, shard_array,
+                    tag, self.timeout, self.chunk_bytes,
+                )
+            except TransportTimeoutError as exc:
+                raise CollectiveTimeoutError(str(exc)) from exc
+
+        meta = {"op": "all_gather_flat", "seq": seq, "bytes": array.nbytes,
+                "group": self._group_id}
+        return self._submit(
+            run, f"all_gather_flat#{seq}", async_op, meta=meta,
+            fingerprint=signature,
+        )
+
     def reduce(self, tensor, root: int = 0, op: str = ReduceOp.SUM):
         """Reduce into group-rank ``root``'s tensor (synchronous)."""
         self._check_device(tensor)

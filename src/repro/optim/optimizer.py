@@ -71,18 +71,33 @@ class Optimizer:
         import numpy as np
 
         state: Dict[int, Dict] = {}
-        for index, param in enumerate(self._ordered_params()):
+        ordered = self._ordered_params()
+        for index, param in enumerate(ordered):
             per_param = self.state.get(id(param))
             if per_param:
                 state[index] = {
                     key: np.asarray(value).copy()
                     for key, value in per_param.items()
                 }
-        return {"state": state}
+        return {"state": state, "num_params": len(ordered)}
 
     def load_state_dict(self, state_dict: Dict) -> None:
-        """Restore state captured by :meth:`state_dict` (by position)."""
+        """Restore state captured by :meth:`state_dict` (by position).
+
+        Positional keys silently misalign if the parameter list changed
+        between save and load (state would land on the wrong tensors),
+        so a recorded ``num_params`` that disagrees with the registered
+        count, an out-of-range index, or a state array whose shape does
+        not match its parameter all raise ``ValueError``.
+        """
         params = self._ordered_params()
+        num_params = state_dict.get("num_params")
+        if num_params is not None and int(num_params) != len(params):
+            raise ValueError(
+                f"optimizer state was saved for {int(num_params)} parameters "
+                f"but this optimizer has {len(params)}; positional state "
+                "cannot be restored across differing parameter lists"
+            )
         self.state.clear()
         for index, per_param in state_dict.get("state", {}).items():
             index = int(index)
@@ -98,6 +113,13 @@ class Optimizer:
                 # 0-d arrays when saved to npz; unwrap them.
                 if hasattr(array, "ndim") and array.ndim == 0:
                     array = array.item()
+                elif hasattr(array, "shape") and array.shape != params[index].data.shape:
+                    raise ValueError(
+                        f"optimizer state '{key}' for parameter {index} has "
+                        f"shape {array.shape} but the parameter is "
+                        f"{params[index].data.shape}; the checkpoint does not "
+                        "match this parameter list"
+                    )
                 restored[key] = array
             self.state[id(params[index])] = restored
 

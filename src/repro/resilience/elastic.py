@@ -85,6 +85,14 @@ class ElasticConfig:
     :class:`~repro.resilience.transport.RetryPolicy` for each
     generation's hub; ``group_kwargs`` / ``ddp_kwargs`` forward to the
     process-group backend and the DDP wrapper.
+
+    ``wrapper`` overrides the model wrap: ``wrapper(module, group) ->
+    model`` (called instead of the default DDP construction, so e.g.
+    ``repro.sharded`` stages can run elastically).  A wrapped model
+    exposing ``save_training_state``/``load_training_state`` switches
+    checkpointing to the sharded protocol: saves become collective
+    (every rank calls at the same deterministic cadence; rank 0 writes)
+    and restores run on every rank.
     """
 
     policy: str = "shrink"
@@ -102,6 +110,7 @@ class ElasticConfig:
     seed: int = 0
     group_kwargs: Dict = field(default_factory=dict)
     ddp_kwargs: Dict = field(default_factory=dict)
+    wrapper: Optional[Callable] = None
 
     def __post_init__(self):
         if self.policy not in ("fail", "shrink", "pause_and_wait"):
@@ -320,16 +329,27 @@ def _run_generation(
             ctx.group = group
             module, optimizer = setup(ctx)
 
-            from repro.core.ddp import DistributedDataParallel
+            if config.wrapper is not None:
+                model = config.wrapper(module, group)
+            else:
+                from repro.core.ddp import DistributedDataParallel
 
-            model = DistributedDataParallel(
-                module, process_group=group, **config.ddp_kwargs
-            )
+                model = DistributedDataParallel(
+                    module, process_group=group, **config.ddp_kwargs
+                )
+            # Sharded wrappers (repro.sharded) checkpoint collectively:
+            # every rank participates in the consolidation gathers, at a
+            # cadence derived only from the iteration counter so all
+            # ranks agree without communication.
+            sharded = hasattr(model, "save_training_state")
             start = 0
             if os.path.exists(config.checkpoint_path):
-                info = load_training_checkpoint(
-                    config.checkpoint_path, module, optimizer
-                )
+                if sharded:
+                    info = model.load_training_state(config.checkpoint_path)
+                else:
+                    info = load_training_checkpoint(
+                        config.checkpoint_path, module, optimizer
+                    )
                 start = info["iteration"]
             if rank == 0:
                 end_iteration[0] = start
@@ -340,14 +360,24 @@ def _run_generation(
                 if rank == 0:
                     rank0_losses.append(float(loss))
                     end_iteration[0] = iteration + 1
-                    if (iteration + 1) % config.checkpoint_every == 0:
+                if (iteration + 1) % config.checkpoint_every == 0:
+                    if sharded:
+                        model.save_training_state(
+                            config.checkpoint_path, iteration=iteration + 1
+                        )
+                    elif rank == 0:
                         save_training_checkpoint(
                             config.checkpoint_path,
                             module,
                             optimizer,
                             iteration=iteration + 1,
                         )
-            if rank == 0 and end_iteration[0] % config.checkpoint_every:
+            if sharded:
+                if total_iterations % config.checkpoint_every:
+                    model.save_training_state(
+                        config.checkpoint_path, iteration=total_iterations
+                    )
+            elif rank == 0 and end_iteration[0] % config.checkpoint_every:
                 save_training_checkpoint(
                     config.checkpoint_path, module, optimizer,
                     iteration=end_iteration[0],

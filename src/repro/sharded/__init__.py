@@ -1,0 +1,52 @@
+"""``repro.sharded``: ZeRO-1/2/3 sharded data parallelism.
+
+Past DDP's ceiling — a full replica of parameters, gradients, and
+optimizer state per rank — the ZeRO line of work shards each of those in
+turn, trading collective traffic for per-rank memory (see
+docs/sharding.md for the stage taxonomy, memory model, and knobs):
+
+* :class:`~repro.sharded.optimizer.ShardedOptimizer` — ZeRO-1:
+  optimizer state partitioned by flat spans.
+* :class:`~repro.sharded.data_parallel.ShardedDataParallel` — ZeRO-2:
+  gradients reduce-scattered; each rank keeps only its shard.
+* :class:`~repro.sharded.fsdp.FullyShardedDataParallel` — ZeRO-3:
+  parameters themselves sharded, gathered per submodule on demand.
+
+All stages share one :class:`~repro.sharded.flat.FlatShardLayout`
+(buckets + ``partition_spans`` ownership) and the
+``reduce_scatter_flat`` / ``all_gather_flat`` collectives of
+:class:`~repro.comm.process_group.ProcessGroup`, and every stage is
+numerically exact against DDP: elementwise optimizers make span-sharded
+updates bit-equal to replicated ones.
+"""
+
+from repro.sharded.checkpoint import (
+    load_sharded_training_checkpoint,
+    save_sharded_training_checkpoint,
+)
+from repro.sharded.data_parallel import ShardedDataParallel
+from repro.sharded.flat import FlatShardLayout, unit_bucket_specs
+from repro.sharded.fsdp import FullyShardedDataParallel
+from repro.sharded.memory import (
+    ShardedStats,
+    measure_ddp_bytes,
+    module_arrays,
+    optimizer_state_arrays,
+    storage_bytes,
+)
+from repro.sharded.optimizer import ShardedOptimizer
+
+__all__ = [
+    "FlatShardLayout",
+    "FullyShardedDataParallel",
+    "ShardedDataParallel",
+    "ShardedOptimizer",
+    "ShardedStats",
+    "load_sharded_training_checkpoint",
+    "measure_ddp_bytes",
+    "module_arrays",
+    "optimizer_state_arrays",
+    "save_sharded_training_checkpoint",
+    "storage_bytes",
+    "unit_bucket_specs",
+]

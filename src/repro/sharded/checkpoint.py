@@ -1,0 +1,88 @@
+"""Sharded checkpointing: full-model snapshots from sharded training.
+
+The on-disk format is exactly :func:`repro.utils.checkpoint.save_training_checkpoint`'s
+(``state/{name}``, ``opt/{index}/{key}``, ``meta/iteration``,
+``extra/{key}`` in one atomically written npz), so a checkpoint written
+mid-ZeRO-training restores into plain local training, DDP, or any
+sharding stage — including a *different world size*, which is what lets
+these compose with :func:`repro.resilience.elastic.run_elastic`'s
+shrink-to-survive recovery: survivors re-wrap at the new world and load
+the same file.
+
+Saving is **collective** (state consolidation all-gathers parameter and
+optimizer spans), but only rank 0 touches the filesystem.  Loading is
+purely local: every rank parses the file and keeps its own spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.checkpoint import _atomic_savez
+
+
+def save_sharded_training_checkpoint(
+    path: str,
+    model,
+    iteration: int = 0,
+    extra: Optional[Dict] = None,
+) -> None:
+    """Consolidate a sharded wrapper's state and write it on rank 0.
+
+    ``model`` is a :class:`~repro.sharded.data_parallel.ShardedDataParallel`
+    or :class:`~repro.sharded.fsdp.FullyShardedDataParallel`.  Every
+    rank must call this (the consolidation gathers are collectives); the
+    resulting file is byte-compatible with
+    :func:`repro.utils.checkpoint.load_training_checkpoint`.
+    """
+    state = model.state_dict()
+    opt_state = model.optimizer.consolidated_state_dict()
+    if model.rank != 0:
+        return
+    payload = {f"state/{name}": value for name, value in state.items()}
+    for index, per_param in opt_state["state"].items():
+        for key, value in per_param.items():
+            payload[f"opt/{index}/{key}"] = np.asarray(value)
+    payload["meta/iteration"] = np.asarray(int(iteration))
+    payload["meta/opt_num_params"] = np.asarray(int(opt_state["num_params"]))
+    for key, value in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(value)
+    _atomic_savez(path, payload)
+
+
+def load_sharded_training_checkpoint(path: str, model) -> Dict:
+    """Restore a full-model checkpoint into a sharded wrapper.
+
+    Local (no collectives): each rank reads the file, installs the model
+    state through the wrapper (which re-shards it), and slices its spans
+    of the positional optimizer state.  Accepts checkpoints written by
+    either :func:`save_sharded_training_checkpoint` or plain
+    :func:`repro.utils.checkpoint.save_training_checkpoint`.
+    Returns ``{"iteration": int, "extra": dict}``.
+    """
+    with np.load(path) as data:
+        state = {}
+        opt_state: Dict[int, Dict] = {}
+        extra = {}
+        iteration = 0
+        num_params = None
+        for key in data.files:
+            if key.startswith("state/"):
+                state[key[len("state/"):]] = data[key]
+            elif key.startswith("opt/"):
+                _, index, name = key.split("/", 2)
+                opt_state.setdefault(int(index), {})[name] = data[key]
+            elif key == "meta/iteration":
+                iteration = int(data[key])
+            elif key == "meta/opt_num_params":
+                num_params = int(data[key])
+            elif key.startswith("extra/"):
+                extra[key[len("extra/"):]] = data[key]
+    model.load_state_dict(state)
+    consolidated: Dict = {"state": opt_state}
+    if num_params is not None:
+        consolidated["num_params"] = num_params
+    model.optimizer.load_consolidated_state_dict(consolidated)
+    return {"iteration": iteration, "extra": extra}

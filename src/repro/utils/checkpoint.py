@@ -72,9 +72,14 @@ def save_training_checkpoint(
         f"state/{name}": value for name, value in module.state_dict().items()
     }
     if optimizer is not None:
-        for index, per_param in optimizer.state_dict()["state"].items():
+        opt_dict = optimizer.state_dict()
+        for index, per_param in opt_dict["state"].items():
             for key, value in per_param.items():
                 payload[f"opt/{index}/{key}"] = np.asarray(value)
+        if "num_params" in opt_dict:
+            # Guards positional restore: loading into an optimizer with
+            # a different parameter count fails loudly, not misaligned.
+            payload["meta/opt_num_params"] = np.asarray(int(opt_dict["num_params"]))
     payload["meta/iteration"] = np.asarray(int(iteration))
     for key, value in (extra or {}).items():
         payload[f"extra/{key}"] = np.asarray(value)
@@ -92,6 +97,7 @@ def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
         opt_state: Dict[int, Dict] = {}
         extra = {}
         iteration = 0
+        opt_num_params = None
         for key in data.files:
             if key.startswith("state/"):
                 state[key[len("state/"):]] = data[key]
@@ -100,9 +106,14 @@ def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
                 opt_state.setdefault(int(index), {})[name] = data[key]
             elif key == "meta/iteration":
                 iteration = int(data[key])
+            elif key == "meta/opt_num_params":
+                opt_num_params = int(data[key])
             elif key.startswith("extra/"):
                 extra[key[len("extra/"):]] = data[key]
     module.load_state_dict(state)
     if optimizer is not None:
-        optimizer.load_state_dict({"state": opt_state})
+        opt_dict: Dict = {"state": opt_state}
+        if opt_num_params is not None:
+            opt_dict["num_params"] = opt_num_params
+        optimizer.load_state_dict(opt_dict)
     return {"iteration": iteration, "extra": extra}
