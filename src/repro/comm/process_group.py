@@ -435,6 +435,81 @@ class ProcessGroup:
         """
         self._fault_plan = plan
 
+    # ------------------------------------------------------------------
+    # live retuning (repro.autotune)
+    # ------------------------------------------------------------------
+    def set_algorithm(self, algorithm: str) -> None:
+        """Switch the AllReduce algorithm for *future* collectives.
+
+        The algorithm is resolved per call, so the switch takes effect
+        on the next collective issued.  Every rank must switch at the
+        same sequence point — ranks running different algorithms for
+        the same collective would deadlock on mismatched message
+        patterns.  The autotuner applies this only at agreed iteration
+        boundaries.
+        """
+        if algorithm not in algorithms.ALLREDUCE_ALGORITHMS:
+            raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+        self.algorithm = algorithm
+
+    def set_chunk_bytes(self, chunk_bytes: Optional[int]) -> None:
+        """Set the pipelining chunk size for future collectives
+        (``None`` restores the module default).  Chunking never changes
+        results, but all ranks must agree — chunk boundaries define the
+        per-step message sequence."""
+        if chunk_bytes is not None and chunk_bytes < 1:
+            raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self.chunk_bytes = chunk_bytes
+
+    def set_num_streams(self, num_streams: int) -> None:
+        """Live-resize the communication worker pool.
+
+        Must be called at a quiescent point — no collectives in flight
+        (every issued ``Work`` waited) — and at the same sequence point
+        on every rank, because stream routing is ``seq % num_streams``
+        and ranks pair collectives by stream.  Growing appends queues
+        and worker threads; shrinking retires the tail workers via the
+        queue sentinel and joins them.
+        """
+        if num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        if self._closed:
+            raise CollectiveError("process group is shut down")
+        if num_streams == self.num_streams:
+            return
+        if num_streams > self.num_streams:
+            for stream in range(self.num_streams, num_streams):
+                self._queues.append(queue.Queue())
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    args=(stream,),
+                    name=f"pg{self._group_id}-rank{self.global_rank}-comm{stream}",
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
+        else:
+            retired = self._workers[num_streams:]
+            for stream in range(num_streams, self.num_streams):
+                self._queues[stream].put(None)
+            for worker in retired:
+                worker.join(timeout=self.timeout)
+            stuck = [worker.name for worker in retired if worker.is_alive()]
+            if stuck:
+                # A retired worker still executing means the caller was
+                # not quiescent; leave the pool untouched rather than
+                # strand a live collective on an unread queue.
+                raise CollectiveError(
+                    f"set_num_streams({num_streams}) with collectives still "
+                    f"in flight on {', '.join(stuck)}; wait all Work first"
+                )
+            self._queues = self._queues[:num_streams]
+            self._workers = self._workers[:num_streams]
+            for stream in list(self._inflight_by_stream):
+                if stream >= num_streams:
+                    self._inflight_by_stream.pop(stream, None)
+        self.num_streams = int(num_streams)
+
     def shutdown(self, grace: float = 2.0) -> bool:
         """Stop the worker threads (idempotent); returns True if all joined.
 

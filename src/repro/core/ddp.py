@@ -74,6 +74,17 @@ class DistributedDataParallel(Module):
         :class:`~repro.core.reducer.Reducer`); pair with a process group
         constructed with ``num_streams > 1`` to actually run several
         buckets' collectives concurrently.
+    autotune:
+        Attach a :class:`repro.autotune.Autotuner` that retunes
+        ``bucket_cap_mb`` / ``chunk_bytes`` / ``num_streams`` / the
+        collective algorithm (and, opted in, the comm hook) live from
+        measured iteration times.  Every rank must pass the same value
+        — the tuner issues one tiny agreement collective per window.
+        See ``docs/autotuning.md``.
+    autotune_options:
+        Keyword options forwarded to the :class:`~repro.autotune.Autotuner`
+        constructor (``window_iters``, ``tune_comm_hook``, ``seed``, ...);
+        must be identical on every rank.
     """
 
     def __init__(
@@ -90,6 +101,8 @@ class DistributedDataParallel(Module):
         rebucket_after_iterations: int = 5,
         gradient_as_bucket_view: bool = True,
         max_in_flight_buckets: Optional[int] = None,
+        autotune: bool = False,
+        autotune_options: Optional[dict] = None,
     ):
         super().__init__()
         self.module = module
@@ -160,6 +173,12 @@ class DistributedDataParallel(Module):
         )
         self._rebucket_after = rebucket_after_iterations
         self._rebucket_done = not trace_backward_order
+
+        self._autotuner = None
+        if autotune:
+            from repro.autotune.service import Autotuner
+
+            self._autotuner = Autotuner(self, **(autotune_options or {}))
 
         self._sync_enabled = True
         # Whether gradients were reduced in the previous backward, which
@@ -307,6 +326,12 @@ class DistributedDataParallel(Module):
 
     def forward(self, *inputs, **kwargs):
         if self._sync_enabled:
+            # Autotune boundary: the reducer is finalized and all Work
+            # waited, so config changes (relayouts, stream resizes) are
+            # safe; runs before any of this iteration's collectives so
+            # every rank applies them at the same sequence point.
+            if self._autotuner is not None:
+                self._autotuner.on_iteration()
             if (
                 not self._rebucket_done
                 and self.reducer.iterations_synced >= self._rebucket_after
@@ -345,6 +370,35 @@ class DistributedDataParallel(Module):
     def register_comm_hook(self, hook: Optional[CommHook]) -> None:
         """Install a gradient-compression communication hook (§6.2.3)."""
         self.reducer.set_comm_hook(hook)
+
+    def set_bucket_cap_mb(
+        self, bucket_cap_mb: float, first_bucket_cap_mb: Optional[float] = None
+    ) -> None:
+        """Relayout gradient buckets to a new cap, live.
+
+        Goes through the no-op-aware ``rebuild_buckets`` (an unchanged
+        layout keeps the existing buffers; a changed one migrates live
+        gradient values into the new views).  **Collective discipline**:
+        every rank must call this between iterations at the same point
+        — the bucket layout defines the AllReduce sequence.  This is
+        the autotuner's relayout entry point.
+        """
+        specs = cached_bucket_assignment(
+            self._params,
+            bucket_cap_bytes=int(bucket_cap_mb * MB),
+            first_bucket_cap_bytes=(
+                int(first_bucket_cap_mb * MB)
+                if first_bucket_cap_mb is not None
+                else None
+            ),
+        )
+        self.reducer.rebuild_buckets(specs)
+        self.bucket_cap_mb = bucket_cap_mb
+
+    @property
+    def autotuner(self):
+        """The attached :class:`~repro.autotune.Autotuner` (or None)."""
+        return self._autotuner
 
     # ------------------------------------------------------------------
     # observability
@@ -407,6 +461,9 @@ class DistributedDataParallel(Module):
             "resilience": self._resilience_stats(),
             "profile": self._profile_stats(detail),
             "health": self._health_stats(detail),
+            "autotune": (
+                self._autotuner.report() if self._autotuner is not None else None
+            ),
         }
 
     def _health_stats(self, detail: dict) -> dict:

@@ -141,13 +141,224 @@ class TestOneBitHook:
             assert last < first * 0.78
 
 
+class _FakeOneRankGroup:
+    """World-1 group: allreduce is identity, allgather stacks self."""
+
+    size = 1
+    supports_cpu_tensors = True
+
+    class _Work:
+        def __init__(self, result=None):
+            self.result = result
+
+        def wait(self, timeout=None):
+            pass
+
+    def allreduce(self, tensor, op="sum", async_op=False):
+        return self._Work() if async_op else None
+
+    def allgather(self, tensor, async_op=False):
+        data = tensor.data if hasattr(tensor, "data") else tensor
+        stacked = np.stack([np.asarray(data).copy()])
+        if async_op:
+            return self._Work(result=[stacked])
+        return stacked
+
+
+def run_hook(hook, values, world=1):
+    """Apply ``hook`` to a fresh bucket holding ``values``; return the
+    decompressed bucket contents."""
+    bucket = Tensor(np.array(values, dtype=np.float64))
+    hook(_FakeOneRankGroup(), bucket, world).wait()
+    return bucket.data
+
+
+class TestErrorFeedback:
+    def test_fp16_residual_accumulates_across_iterations(self):
+        hook = comm_hooks.Fp16Hook(use_error_feedback=True)
+        # A value float16 cannot represent exactly: the rounding error
+        # must land in the residual, and the *same* buffer's second
+        # iteration must start from it.
+        bucket = Tensor(np.array([1.0 + 1e-4, -2.0 - 1e-4]))
+        original = bucket.data.copy()
+        hook(_FakeOneRankGroup(), bucket, 1).wait()
+        residuals = list(hook._residuals._store.values())
+        assert len(residuals) == 1
+        first_residual = residuals[0].copy()
+        assert np.abs(first_residual).sum() > 0
+        # residual + transmitted == what this rank wanted to send
+        assert np.allclose(first_residual + bucket.data, original, atol=1e-12)
+        # Second iteration on the same buffer: the correction shifts the
+        # wire value, so two lossy steps do not lose the error twice.
+        bucket.data[...] = original
+        hook(_FakeOneRankGroup(), bucket, 1).wait()
+        assert np.allclose(
+            bucket.data,
+            np.asarray(original + first_residual, dtype=np.float16).astype(
+                np.float64
+            ),
+        )
+
+    def test_topk_residual_holds_unsent_mass(self):
+        hook = comm_hooks.TopKHook(density=0.25, use_error_feedback=True)
+        values = np.array([10.0, 0.1, 0.2, 0.3, 9.0, 0.4, 0.5, 8.0])
+        out = run_hook(hook, values)
+        # k = 2 of 8: only the two largest survive on the wire.
+        assert np.count_nonzero(out) == 2
+        assert out[0] == 10.0 and out[4] == 9.0
+        (residual,) = hook._residuals._store.values()
+        # Everything unsent is preserved, selected entries zeroed.
+        assert residual[0] == 0.0 and residual[4] == 0.0
+        assert np.allclose(residual + out, values)
+
+    def test_quantize8_error_feedback_reduces_drift(self):
+        """Averaged over many iterations of a constant gradient, the EF
+        variant's cumulative estimate converges to the truth while the
+        plain variant keeps a constant bias."""
+        constant = np.array([0.30000077, -0.7000013, 0.123456789])
+        plain = comm_hooks.Quantize8Hook(use_error_feedback=False)
+        with_ef = comm_hooks.Quantize8Hook(use_error_feedback=True)
+        sums = {"plain": np.zeros(3), "ef": np.zeros(3)}
+        plain_bucket = Tensor(constant.copy())
+        ef_bucket = Tensor(constant.copy())
+        iters = 64
+        for _ in range(iters):
+            plain_bucket.data[...] = constant
+            plain(_FakeOneRankGroup(), plain_bucket, 1).wait()
+            sums["plain"] += plain_bucket.data
+            ef_bucket.data[...] = constant
+            with_ef(_FakeOneRankGroup(), ef_bucket, 1).wait()
+            sums["ef"] += ef_bucket.data
+        err_plain = np.abs(sums["plain"] / iters - constant).max()
+        err_ef = np.abs(sums["ef"] / iters - constant).max()
+        assert err_ef < err_plain / 4
+
+    def test_reset_clears_state(self):
+        hook = comm_hooks.PowerSGDHook(rank=2)
+        run_hook(hook, np.arange(16.0))
+        assert hook._q and hook._residuals._store
+        hook.reset()
+        assert not hook._q and not hook._residuals._store
+
+    def test_residual_store_survives_id_reuse_with_shape_check(self):
+        store = comm_hooks._ResidualStore()
+        a = np.zeros(4)
+        ra = store.get(a)
+        ra[...] = 1.0
+        # Same id, different shape (simulated relayout reuse) => fresh.
+        store._store[id(a)] = np.ones(7)
+        again = store.get(a)
+        assert again.shape == a.shape
+        assert np.all(again == 0.0)
+
+
+class TestAllreduceHookBitExact:
+    def test_bit_exact_vs_native_over_iterations(self):
+        """allreduce_hook must be *bit-identical* to the native reducer
+        path — same collective, same divide — across several iterations."""
+        native = grads_with_hook(None, iters=3)
+        hooked = grads_with_hook(lambda: comm_hooks.allreduce_hook, iters=3)
+        for name in native[0]:
+            assert np.array_equal(native[0][name], hooked[0][name])
+
+
+class TestPowerSGD:
+    def _reconstruction_error(self, rank, matrix, iters=4):
+        hook = comm_hooks.PowerSGDHook(rank=rank, use_error_feedback=False)
+        flat = matrix.reshape(-1)
+        bucket = Tensor(flat.copy())
+        for _ in range(iters):  # warm-started Q: power iteration
+            bucket.data[...] = flat
+            hook(_FakeOneRankGroup(), bucket, 1).wait()
+        return float(np.linalg.norm(bucket.data - flat) / np.linalg.norm(flat))
+
+    def test_rank4_tighter_than_rank1(self):
+        rng = np.random.default_rng(5)
+        # Exactly rank-4 ground truth: rank-4 PowerSGD can nail it,
+        # rank-1 can only capture the dominant direction.
+        matrix = rng.standard_normal((36, 4)) @ rng.standard_normal((4, 36))
+        err1 = self._reconstruction_error(1, matrix)
+        err4 = self._reconstruction_error(4, matrix)
+        assert err4 < err1
+        assert err4 < 1e-6  # power iteration converges on exact low rank
+        assert err1 < 1.0  # rank-1 still captures the top component
+
+    def test_identical_seeds_identical_compression(self):
+        rng = np.random.default_rng(6)
+        values = rng.standard_normal(64)
+        out_a = run_hook(comm_hooks.PowerSGDHook(rank=2, seed=3), values)
+        out_b = run_hook(comm_hooks.PowerSGDHook(rank=2, seed=3), values)
+        assert np.array_equal(out_a, out_b)
+
+
+class TestHookBucketViewAliasing:
+    """Stateful hooks must behave identically whether gradients are
+    zero-copy views into the bucket buffers or private copies."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: comm_hooks.TopKHook(density=0.1),
+            lambda: comm_hooks.PowerSGDHook(rank=2),
+            lambda: comm_hooks.Fp16Hook(use_error_feedback=True),
+        ],
+        ids=["topk", "powersgd", "fp16_ef"],
+    )
+    def test_view_and_copy_modes_agree(self, factory):
+        def train(as_view):
+            def body(rank):
+                manual_seed(7)
+                model = small_classifier()
+                ddp = DistributedDataParallel(
+                    model,
+                    comm_hook=factory(),
+                    gradient_as_bucket_view=as_view,
+                )
+                opt = SGD(ddp.parameters(), lr=0.05)
+                loss_fn = nn.CrossEntropyLoss()
+                shard = slice(rank * 4, (rank + 1) * 4)
+                for _ in range(5):
+                    opt.zero_grad()
+                    loss_fn(ddp(Tensor(X[shard])), Y[shard]).backward()
+                    opt.step()
+                stats = ddp.ddp_stats()
+                return (
+                    {n: p.grad.data.copy() for n, p in model.named_parameters()},
+                    stats["zero_copy_hits"],
+                )
+
+            return run_world(2, body, backend="gloo", timeout=30)
+
+        view_runs = train(True)
+        copy_runs = train(False)
+        # The zero-copy path was actually exercised in view mode only.
+        assert view_runs[0][1] > 0
+        assert copy_runs[0][1] == 0
+        for name in view_runs[0][0]:
+            assert np.allclose(
+                view_runs[0][0][name], copy_runs[0][0][name], atol=1e-12
+            )
+            # and both ranks agree within each mode
+            assert np.allclose(view_runs[0][0][name], view_runs[1][0][name])
+
+
 class TestCompressionRatios:
     def test_ratios(self):
         assert comm_hooks.compression_ratio("fp16", 8) == 0.25
         assert comm_hooks.compression_ratio("onebit", 8) == 0.125
         assert comm_hooks.compression_ratio("allreduce", 8) == 1.0
+        assert comm_hooks.compression_ratio("topk", density=0.05) == 0.1
+        assert comm_hooks.compression_ratio("powersgd", rank=2, elements=1 << 20) < 0.01
         with pytest.raises(KeyError):
             comm_hooks.compression_ratio("bogus")
+
+    def test_hook_factories_produce_fresh_instances(self):
+        a = comm_hooks.make_hook("topk")
+        b = comm_hooks.make_hook("topk")
+        assert a is not b
+        assert callable(comm_hooks.make_hook("allreduce"))
+        with pytest.raises(ValueError):
+            comm_hooks.make_hook("bogus")
 
     def test_register_comm_hook_after_construction(self):
         def body(rank):

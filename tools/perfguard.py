@@ -65,7 +65,7 @@ ENVELOPE_KEYS = {"bench", "created_unix", "python", "platform", "smoke", "iters"
 #: Fields that identify a result row rather than measure it.
 ID_FIELDS = (
     "algorithm", "mode", "world", "size_mb", "chunk_kb", "num_streams",
-    "bucket", "bucket_cap_mb", "interval_s", "elements",
+    "bucket", "bucket_cap_mb", "interval_s", "elements", "hook",
 )
 
 
