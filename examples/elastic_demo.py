@@ -11,6 +11,12 @@ The acceptance scenario for ``repro.resilience`` end to end:
    the survivors into a smaller world, restores model + optimizer state
    from the last checkpoint, and finishes the iteration budget.
 4. The final loss matches a no-fault run at the shrunken world size.
+5. A second scenario grows back: rank 2 is killed, *rejoins two
+   generations later* via :func:`rejoin_rank`, and the supervisor
+   re-admits it at the boundary — with the replicated
+   :class:`~repro.checkpoint.CheckpointEngine` carrying state.  The
+   loss trajectory is **bitwise identical** to a composed baseline
+   running the same world schedule without faults.
 
 Each claim is asserted; the script exits non-zero if any fails, and on
 failure writes the collective flight-recorder dump (when REPRO_DEBUG is
@@ -23,6 +29,7 @@ Run:
 import os
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -34,6 +41,7 @@ from repro.resilience import (
     FaultPlan,
     crash_rank,
     drop,
+    rejoin_rank,
     run_elastic,
 )
 from repro.utils import manual_seed
@@ -61,6 +69,10 @@ def step(ctx, model, opt, iteration):
     loss = loss_fn(model(Tensor(X[shard])), Y[shard])
     loss.backward()
     opt.step()
+    # Keep each iteration longer than the supervisor's poll tick so a
+    # generation cannot end before a pending rejoin is noticed (loss
+    # numerics untouched — the baselines run this same step).
+    time.sleep(0.01)
     # Surface the retrying transport's live counters once per rank 0 step.
     if ctx.rank == 0 and iteration == ITERATIONS - 1:
         resilience = model.ddp_stats()["resilience"]
@@ -127,6 +139,62 @@ def main() -> int:
     )
     print(f"baseline losses: {[round(l, 4) for l in baseline.losses]}")
 
+    print(f"\n=== grow run: rank 2 killed, rejoins two generations later "
+          f"(replication_factor=2) ===")
+    grow_plan = FaultPlan(
+        [
+            crash_rank(2, scope="collective", op="allreduce",
+                       after=2 * BUCKETS + 1, times=1),  # dies iteration 2
+            rejoin_rank(2, generation=1),  # matures during generation 1
+        ],
+        seed=SEED,
+    )
+    grow = run_elastic(
+        WORLD, setup, step, ITERATIONS,
+        config=ElasticConfig(
+            policy="shrink",
+            checkpoint_dir=os.path.join(workdir, "grow"),
+            checkpoint_every=1,
+            timeout=10.0,
+            seed=SEED,
+            ddp_kwargs={"bucket_cap_mb": 0.0001},
+            allow_grow=True,
+            max_world_size=WORLD,
+            replication_factor=2,
+        ),
+        fault_plan=grow_plan,
+    )
+    for gen in grow.generations:
+        ckpt = (gen.get("checkpoint") or {}).get(0, {})
+        print(f"generation {gen['generation']}: world={gen['world_size']} "
+              f"iterations→{gen['end_iteration']} died={gen['died']} "
+              f"admitted={gen.get('admitted', [])} "
+              f"replicas_sent={ckpt.get('replicas_sent', 0)}")
+    print(f"grow losses: {[round(l, 4) for l in grow.losses]}")
+
+    # Composed baseline: replay the observed world schedule without
+    # faults through one shared checkpoint dir — bitwise comparable.
+    schedule = [(g["world_size"], g["end_iteration"])
+                for g in grow.generations]
+    composed_dir = os.path.join(workdir, "grow_baseline")
+    composed_losses = []
+    cursor = 0
+    for world, end in schedule:
+        if end <= cursor:
+            continue
+        segment = run_elastic(
+            world, setup, step, end,
+            config=ElasticConfig(
+                policy="shrink",
+                checkpoint_dir=composed_dir,
+                checkpoint_every=1,
+                timeout=10.0,
+                ddp_kwargs={"bucket_cap_mb": 0.0001},
+            ),
+        )
+        composed_losses += segment.losses
+        cursor = end
+
     checks = [
         ("run completed", result.completed),
         ("all iterations ran", result.iterations == ITERATIONS),
@@ -138,6 +206,17 @@ def main() -> int:
         ("loss kept improving", result.losses[-1] < result.losses[0]),
         ("final loss matches no-fault shrunken-world baseline",
          abs(result.final_loss - baseline.final_loss) < 0.05),
+        ("grow run completed", grow.completed),
+        ("grow ran all iterations", grow.iterations == ITERATIONS),
+        ("killed rank rejoined at a boundary",
+         grow.deaths == [2] and grow.admissions == [2]),
+        ("world grew back to full size",
+         grow.final_world_size == WORLD),
+        ("checkpoint engine replicated shards",
+         all((g.get("checkpoint") or {}).get(0, {}).get("replicas_sent", 0)
+             > 0 for g in grow.generations)),
+        ("grow losses bitwise-match the composed same-schedule baseline",
+         composed_losses == grow.losses),
     ]
     print()
     failed = False

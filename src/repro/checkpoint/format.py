@@ -1,0 +1,174 @@
+"""Verified checkpoint bytes: magic + CRC trailer over any payload.
+
+Atomic renames guarantee a checkpoint *file name* never points at a
+half-written file — but they cannot protect against a torn write that
+happened before the rename (a crashed writer that already renamed), a
+disk that lied about durability, or bit rot on the stored bytes.  Every
+checkpoint this package writes therefore carries a fixed-size trailer::
+
+    MAGIC(8) | payload_length u64 LE | crc32 u32 LE | MAGIC(8)
+
+appended *after* the payload bytes.  The payload of the plain training
+checkpoints stays a perfectly ordinary ``.npz`` — ``zipfile`` locates
+the end-of-central-directory record by scanning backwards, so a legacy
+reader that knows nothing about the trailer still opens the file — and
+readers here verify the CRC before a single byte is unpickled, raising
+:class:`ChecksumError` on any mismatch instead of handing numpy a torn
+archive.
+
+Files written before this format existed carry no trailer; they are
+accepted as-is (backward-compatible read) but still get structural
+validation: a payload ``zipfile`` cannot parse is reported as a
+:class:`ChecksumError`, never as a raw ``BadZipFile`` five frames deep
+in numpy.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zipfile
+import zlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Trailer framing: magic on both sides so a truncated trailer is
+#: distinguishable from a legacy (trailer-less) file.
+MAGIC = b"RPROCKPT"
+_TRAILER_STRUCT = struct.Struct("<QI")
+#: Total trailer size in bytes: MAGIC + u64 length + u32 crc + MAGIC.
+TRAILER_SIZE = len(MAGIC) * 2 + _TRAILER_STRUCT.size
+
+
+class ChecksumError(RuntimeError):
+    """A checkpoint's bytes failed verification (torn write, bit rot).
+
+    Raised *before* any payload byte is interpreted, so a corrupted
+    file can never be half-loaded into a model.  Carries ``path`` when
+    the bytes came from a file.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        super().__init__(message if path is None else f"{path}: {message}")
+        self.path = path
+
+
+def append_trailer(payload: bytes) -> bytes:
+    """Return ``payload`` with the verification trailer appended."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return payload + MAGIC + _TRAILER_STRUCT.pack(len(payload), crc) + MAGIC
+
+
+def split_trailer(data: bytes) -> Tuple[bytes, Optional[int]]:
+    """Split raw file bytes into ``(payload, expected_crc)``.
+
+    ``expected_crc`` is ``None`` for legacy files without a trailer.
+    A *recognizably damaged* trailer (magic present on one side only,
+    or a length field pointing outside the file) raises
+    :class:`ChecksumError` — that is a torn write, not a legacy file.
+    """
+    if len(data) < TRAILER_SIZE or not data.endswith(MAGIC):
+        if MAGIC in data[-(TRAILER_SIZE + 64):] if data else False:
+            raise ChecksumError(
+                "truncated checkpoint trailer (torn write at the tail)"
+            )
+        return data, None
+    trailer = data[-TRAILER_SIZE:]
+    if not trailer.startswith(MAGIC):
+        raise ChecksumError("malformed checkpoint trailer framing")
+    length, crc = _TRAILER_STRUCT.unpack(
+        trailer[len(MAGIC): len(MAGIC) + _TRAILER_STRUCT.size]
+    )
+    if length != len(data) - TRAILER_SIZE:
+        raise ChecksumError(
+            f"checkpoint trailer declares {length} payload bytes but the "
+            f"file holds {len(data) - TRAILER_SIZE} (torn or doubly-"
+            "appended write)"
+        )
+    return data[:-TRAILER_SIZE], crc
+
+
+def verify_bytes(data: bytes, path: Optional[str] = None) -> bytes:
+    """Return the verified payload of raw checkpoint bytes.
+
+    Trailer present: CRC must match or :class:`ChecksumError` is
+    raised.  Trailer absent (legacy file): the bytes pass through
+    unverified — structural validation happens at parse time.
+    """
+    try:
+        payload, expected = split_trailer(data)
+    except ChecksumError as exc:
+        raise ChecksumError(str(exc) if path is None else exc.args[0], path=path) from None
+    if expected is not None:
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != expected:
+            raise ChecksumError(
+                f"checkpoint CRC mismatch (expected {expected:#010x}, "
+                f"computed {actual:#010x}); the file is torn or corrupt",
+                path=path,
+            )
+    return payload
+
+
+def read_verified(path: str) -> bytes:
+    """Read a file and return its CRC-verified payload bytes."""
+    with open(path, "rb") as handle:
+        return verify_bytes(handle.read(), path=path)
+
+
+def write_verified(path: str, payload: bytes, fault_hook=None, rank: int = 0) -> int:
+    """Atomically write ``payload`` + trailer to ``path``; returns bytes.
+
+    ``fault_hook(rank, name, data) -> data`` is the checkpoint-scoped
+    fault-injection point (:meth:`repro.resilience.FaultPlan
+    .on_checkpoint_write`): it sees the final on-disk bytes, so a
+    ``corrupt_file`` rule produces exactly the torn-write signature the
+    CRC check exists to catch.
+    """
+    data = append_trailer(payload)
+    if fault_hook is not None:
+        data = fault_hook(rank, path, data)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+    return len(data)
+
+
+def npz_bytes(payload: Dict[str, np.ndarray]) -> bytes:
+    """Serialize an array mapping to in-memory ``.npz`` bytes."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def parse_npz(payload: bytes, path: Optional[str] = None) -> Dict[str, np.ndarray]:
+    """Parse verified ``.npz`` payload bytes into an array dict.
+
+    Structural damage (a legacy file torn before the trailer era, or a
+    file whose trailer somehow validated over garbage) surfaces as
+    :class:`ChecksumError`, never as a bare ``BadZipFile``.
+    """
+    try:
+        with np.load(io.BytesIO(payload)) as data:
+            return {key: data[key] for key in data.files}
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise ChecksumError(
+            f"checkpoint payload is not a readable npz archive ({exc}); "
+            "the file is truncated or corrupt",
+            path=path,
+        ) from exc
+
+
+def load_verified_npz(path: str) -> Dict[str, np.ndarray]:
+    """Read + CRC-verify + parse one checkpoint file in a single call."""
+    return parse_npz(read_verified(path), path=path)
+
+
+def crc_of(payload: bytes) -> int:
+    """CRC32 of raw payload bytes (manifest bookkeeping)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF

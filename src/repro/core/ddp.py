@@ -464,7 +464,16 @@ class DistributedDataParallel(Module):
             "autotune": (
                 self._autotuner.report() if self._autotuner is not None else None
             ),
+            "checkpoint": self._checkpoint_stats(),
         }
+
+    def _checkpoint_stats(self) -> Optional[dict]:
+        """Live :class:`~repro.checkpoint.engine.CheckpointEngine`
+        counters for this rank (saves, async stall, replication traffic
+        and lag), or None when no engine is registered."""
+        from repro.checkpoint.engine import stats_for
+
+        return stats_for(self.process_group.group_rank)
 
     def _health_stats(self, detail: dict) -> dict:
         """Comm-health section: per-collective efficiency summaries for

@@ -33,16 +33,21 @@ from repro.resilience.elastic import (
     run_elastic,
 )
 from repro.resilience.faults import (
+    CHECKPOINT,
     COLLECTIVE,
+    ELASTIC,
     WIRE,
     FaultPlan,
     FaultRule,
     InjectedRankFailure,
     corrupt,
+    corrupt_file,
     crash_rank,
     delay,
+    delay_write,
     drop,
     duplicate,
+    rejoin_rank,
     slow_rank,
 )
 from repro.resilience.heartbeat import Heartbeat, HeartbeatMonitor, heartbeat_key
@@ -58,11 +63,16 @@ __all__ = [
     "InjectedRankFailure",
     "WIRE",
     "COLLECTIVE",
+    "CHECKPOINT",
+    "ELASTIC",
     "drop",
     "delay",
     "duplicate",
     "corrupt",
+    "corrupt_file",
+    "delay_write",
     "crash_rank",
+    "rejoin_rank",
     "slow_rank",
     "ReliableTransportHub",
     "RetryPolicy",

@@ -22,12 +22,30 @@ survivors, and applies the configured policy:
     Re-run at the original world size, as if the scheduler replaced the
     dead worker; state is likewise restored from the checkpoint.
 
-State travels between generations exclusively through
-:func:`repro.utils.checkpoint.save_training_checkpoint` files written
-by the generation's rank 0 every ``checkpoint_every`` iterations —
+With ``allow_grow=True`` the supervisor also runs the reverse
+transition: a :func:`~repro.resilience.faults.rejoin_rank` fault rule
+marks a spot as *returning* (the preempted instance came back, or the
+scheduler granted capacity).  When a rejoin matures mid-generation the
+supervisor aborts the running generation exactly as it would for a
+death — only this abort carries ``grow`` instead of ``died`` — and at
+the boundary the returning spots are admitted, membership is densely
+re-numbered, and every member (survivor or returner) passes a
+store-based re-rendezvous barrier before the new group forms.  A rank
+whose heartbeat merely *flapped* (stale long enough to trip the
+monitor, fresh again by the boundary) is kept in the membership and
+reported under ``flapped`` rather than treated as dead.
+
+State travels between generations exclusively through checkpoints —
 surviving ranks never try to salvage in-memory state from a torn
 iteration, which is exactly how real elastic runtimes avoid mixing
-half-averaged gradients into the restored trajectory.
+half-averaged gradients into the restored trajectory.  The default
+carrier is the rolling verified file written by
+:func:`repro.utils.checkpoint.save_training_checkpoint` (or the sharded
+protocol for ZeRO wrappers); setting ``replication_factor > 1`` or
+``checkpoint_async=True`` upgrades it to the
+:class:`~repro.checkpoint.engine.CheckpointEngine` — manifest-committed
+generations, per-file CRC, background writes, and buddy replication, so
+losing any single rank's local shard files is survivable.
 """
 
 from __future__ import annotations
@@ -38,6 +56,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.checkpoint.engine import CheckpointEngine
 from repro.comm.distributed import destroy_process_group, init_process_group
 from repro.comm.store import Store
 from repro.resilience.faults import FaultPlan, InjectedRankFailure
@@ -93,6 +112,16 @@ class ElasticConfig:
     checkpointing to the sharded protocol: saves become collective
     (every rank calls at the same deterministic cadence; rank 0 writes)
     and restores run on every rank.
+
+    ``allow_grow`` enables scale-up: matured
+    :func:`~repro.resilience.faults.rejoin_rank` rules admit returning
+    spots at generation boundaries, up to ``max_world_size`` (None
+    leaves growth unbounded).  ``replication_factor`` /
+    ``checkpoint_async`` / ``checkpoint_keep`` configure the
+    :class:`~repro.checkpoint.engine.CheckpointEngine`; the engine is
+    used instead of the rolling single-file checkpoint whenever
+    ``replication_factor > 1`` or ``checkpoint_async`` is set (its
+    files live under :attr:`engine_dir`).
     """
 
     policy: str = "shrink"
@@ -111,6 +140,11 @@ class ElasticConfig:
     group_kwargs: Dict = field(default_factory=dict)
     ddp_kwargs: Dict = field(default_factory=dict)
     wrapper: Optional[Callable] = None
+    allow_grow: bool = False
+    max_world_size: Optional[int] = None
+    replication_factor: int = 1
+    checkpoint_async: bool = False
+    checkpoint_keep: int = 2
 
     def __post_init__(self):
         if self.policy not in ("fail", "shrink", "pause_and_wait"):
@@ -120,11 +154,38 @@ class ElasticConfig:
             )
         if self.min_world_size < 1:
             raise ValueError("min_world_size must be >= 1")
+        if (
+            self.max_world_size is not None
+            and self.max_world_size < self.min_world_size
+        ):
+            raise ValueError(
+                f"max_world_size={self.max_world_size} is below "
+                f"min_world_size={self.min_world_size}"
+            )
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
 
     @property
     def checkpoint_path(self) -> str:
         """Full path of the rolling training checkpoint."""
         return os.path.join(self.checkpoint_dir, self.checkpoint_name)
+
+    @property
+    def engine_dir(self) -> str:
+        """Root directory of the checkpoint engine (when it is used)."""
+        return os.path.join(self.checkpoint_dir, "engine")
+
+    @property
+    def uses_engine(self) -> bool:
+        """Whether generations checkpoint through the engine."""
+        return self.replication_factor > 1 or self.checkpoint_async
+
+    @property
+    def state_path(self) -> str:
+        """Where training state actually lives between generations."""
+        return self.engine_dir if self.uses_engine else self.checkpoint_path
 
 
 @dataclass
@@ -143,6 +204,9 @@ class ElasticContext:
     store: Store
     namespace: str
     group: object = None
+    #: The rank's liveness beacon; step functions may call
+    #: ``ctx.heartbeat.suspend(seconds)`` to simulate a flapping rank.
+    heartbeat: object = None
 
 
 @dataclass
@@ -173,6 +237,16 @@ class ElasticResult:
     def deaths(self) -> List[int]:
         """Every spot that died, in generation order."""
         return [s for g in self.generations for s in g.get("died", [])]
+
+    @property
+    def admissions(self) -> List[int]:
+        """Every spot admitted by a grow, in generation order."""
+        return [s for g in self.generations for s in g.get("admitted", [])]
+
+    @property
+    def flaps(self) -> List[int]:
+        """Every spot that flapped (declared dead, then recovered)."""
+        return [s for g in self.generations for s in g.get("flapped", [])]
 
 
 def _classify(error: BaseException) -> str:
@@ -215,6 +289,14 @@ def run_elastic(
         generations, so ``times=1`` means once per *session*).
     """
     config = config or ElasticConfig()
+    if (
+        config.max_world_size is not None
+        and world_size > config.max_world_size
+    ):
+        raise ValueError(
+            f"initial world_size={world_size} exceeds "
+            f"max_world_size={config.max_world_size}"
+        )
     spots = list(range(world_size))
     generations: List[dict] = []
     losses: List[float] = []
@@ -239,7 +321,7 @@ def run_elastic(
                 final_world_size=len(spots),
                 generations=generations,
                 losses=losses,
-                checkpoint_path=config.checkpoint_path,
+                checkpoint_path=config.state_path,
             )
 
         died = report["died"]
@@ -250,28 +332,58 @@ def run_elastic(
             raise RuntimeError(
                 f"rank spot {spot} failed in generation {generation}: {error}"
             ) from error
-        reason = "; ".join(report["death_reasons"].values()) or "heartbeat lost"
-        if config.policy == "fail":
-            raise RankFailedError(died, generation, reason)
-        if config.policy == "shrink":
-            spots = [s for s in spots if s not in died]
-            if len(spots) < config.min_world_size:
-                raise RankFailedError(
-                    died, generation,
-                    f"only {len(spots)} survivor(s) left, below "
-                    f"min_world_size={config.min_world_size} ({reason})",
+        if died:
+            reason = (
+                "; ".join(report["death_reasons"].values()) or "heartbeat lost"
+            )
+            if config.policy == "fail":
+                raise RankFailedError(died, generation, reason)
+            if config.policy == "shrink":
+                spots = [s for s in spots if s not in died]
+                if len(spots) < config.min_world_size:
+                    raise RankFailedError(
+                        died, generation,
+                        f"only {len(spots)} survivor(s) left, below "
+                        f"min_world_size={config.min_world_size} ({reason})",
+                    )
+                logger.warning(
+                    "elastic: generation %d lost rank spot(s) %s (%s); "
+                    "shrinking to world_size=%d",
+                    generation, died, reason, len(spots),
                 )
+            else:  # pause_and_wait: respawn at the original membership.
+                logger.warning(
+                    "elastic: generation %d lost rank spot(s) %s (%s); "
+                    "restarting at world_size=%d as if replaced",
+                    generation, died, reason, len(spots),
+                )
+        elif report["flapped"]:
             logger.warning(
-                "elastic: generation %d lost rank spot(s) %s (%s); "
-                "shrinking to world_size=%d",
-                generation, died, reason, len(spots),
+                "elastic: generation %d aborted for flapping rank spot(s) "
+                "%s; heartbeats recovered, restarting with the same "
+                "membership", generation, report["flapped"],
             )
-        else:  # pause_and_wait: respawn at the original membership.
-            logger.warning(
-                "elastic: generation %d lost rank spot(s) %s (%s); "
-                "restarting at world_size=%d as if replaced",
-                generation, died, reason, len(spots),
+        # Grow admission (scale-up): consume matured rejoin requests at
+        # the boundary, capped by remaining max_world_size capacity.
+        # Runs after the shrink filter so a kill + rejoin in the same
+        # generation nets out correctly.
+        if config.allow_grow and fault_plan is not None:
+            capacity = (
+                None
+                if config.max_world_size is None
+                else max(0, config.max_world_size - len(spots))
             )
+            admitted = fault_plan.consume_rejoins(
+                generation, exclude=spots, limit=capacity
+            )
+            if admitted:
+                spots = sorted(set(spots) | set(admitted))
+                logger.warning(
+                    "elastic: generation %d admitting returning rank "
+                    "spot(s) %s; growing to world_size=%d",
+                    generation, admitted, len(spots),
+                )
+            report["admitted"] = admitted
         generation += 1
 
 
@@ -300,6 +412,7 @@ def _run_generation(
     rank0_losses: List[float] = []
     end_iteration = [0]
     errors: Dict[int, BaseException] = {}
+    engine_stats: Dict[int, dict] = {}
     lock = threading.Lock()
 
     def runner(rank: int) -> None:
@@ -315,7 +428,17 @@ def _run_generation(
         heartbeat = Heartbeat(
             store, ns, rank, interval=config.heartbeat_interval
         ).start()
+        ctx.heartbeat = heartbeat
+        engine: Optional[CheckpointEngine] = None
         try:
+            # Re-rendezvous barrier: every admitted member — survivor or
+            # returning spot — registers its join before the group
+            # forms, so a grown generation cannot start lopsided.
+            store.set(f"{ns}/join/rank{rank}", {"spot": spots[rank]})
+            store.wait(
+                [f"{ns}/join/rank{r}" for r in range(world)],
+                timeout=config.timeout,
+            )
             group = init_process_group(
                 config.backend,
                 store=store,
@@ -342,8 +465,50 @@ def _run_generation(
             # cadence derived only from the iteration counter so all
             # ranks agree without communication.
             sharded = hasattr(model, "save_training_state")
+            if config.uses_engine:
+                engine = CheckpointEngine(
+                    config.engine_dir,
+                    rank=rank,
+                    world=world,
+                    hub=hub,
+                    replication_factor=min(config.replication_factor, world),
+                    keep=config.checkpoint_keep,
+                    async_write=config.checkpoint_async,
+                    fault_plan=fault_plan,
+                )
+
+            def save_state(iteration: int) -> None:
+                # Engine saves are collective in the same sense as the
+                # sharded protocol: every rank calls at the same cadence
+                # (full mode writes rank 0's payload, empty manifests
+                # elsewhere; sharded mode writes one shard per rank).
+                if engine is not None:
+                    if sharded:
+                        engine.save_sharded(model, iteration=iteration)
+                    else:
+                        engine.save_full(
+                            module, optimizer, iteration=iteration
+                        )
+                elif sharded:
+                    model.save_training_state(
+                        config.checkpoint_path, iteration=iteration
+                    )
+                elif rank == 0:
+                    save_training_checkpoint(
+                        config.checkpoint_path, module, optimizer,
+                        iteration=iteration,
+                    )
+
             start = 0
-            if os.path.exists(config.checkpoint_path):
+            if engine is not None:
+                info = engine.load_latest(
+                    module=module,
+                    optimizer=optimizer,
+                    model=model if sharded else None,
+                )
+                if info is not None:
+                    start = info["iteration"]
+            elif os.path.exists(config.checkpoint_path):
                 if sharded:
                     info = model.load_training_state(config.checkpoint_path)
                 else:
@@ -361,27 +526,13 @@ def _run_generation(
                     rank0_losses.append(float(loss))
                     end_iteration[0] = iteration + 1
                 if (iteration + 1) % config.checkpoint_every == 0:
-                    if sharded:
-                        model.save_training_state(
-                            config.checkpoint_path, iteration=iteration + 1
-                        )
-                    elif rank == 0:
-                        save_training_checkpoint(
-                            config.checkpoint_path,
-                            module,
-                            optimizer,
-                            iteration=iteration + 1,
-                        )
-            if sharded:
-                if total_iterations % config.checkpoint_every:
-                    model.save_training_state(
-                        config.checkpoint_path, iteration=total_iterations
-                    )
-            elif rank == 0 and end_iteration[0] % config.checkpoint_every:
-                save_training_checkpoint(
-                    config.checkpoint_path, module, optimizer,
-                    iteration=end_iteration[0],
-                )
+                    save_state(iteration + 1)
+            if total_iterations % config.checkpoint_every and (
+                sharded or engine is not None or rank == 0
+            ):
+                save_state(total_iterations)
+            if engine is not None:
+                engine.wait(timeout=config.timeout)
             store.set(f"{ns}/done/rank{rank}", True)
         except _GenerationAborted:
             store.set(f"{ns}/done/rank{rank}", "aborted")
@@ -401,6 +552,10 @@ def _run_generation(
             # A dead process takes its heartbeat with it.
             heartbeat.stop()
         finally:
+            if engine is not None:
+                with lock:
+                    engine_stats[rank] = engine.stats()
+                engine.close(timeout=config.timeout)
             heartbeat.stop()
             destroy_process_group()
 
@@ -419,14 +574,40 @@ def _run_generation(
         thread.start()
 
     aborted = False
+    abort_dead: List[int] = []
+    grow_ready: List[int] = []
     deadline = time.monotonic() + config.timeout * (4 + total_iterations * 0.5)
     while any(t.is_alive() for t in threads):
         time.sleep(0.02)
         dead_now = _detect_deaths(store, ns, world, monitor)
         if dead_now and not aborted:
+            abort_dead = dead_now
             store.set(abort_key, {"generation": generation, "died": dead_now})
             hub.close()
             aborted = True
+        if (
+            not aborted
+            and config.allow_grow
+            and fault_plan is not None
+            and (
+                config.max_world_size is None
+                or world < config.max_world_size
+            )
+        ):
+            # A matured rejoin aborts the running generation exactly
+            # like a death would — the grow itself happens at the
+            # boundary, where run_elastic consumes the request.  At
+            # zero max_world_size capacity the request stays pending
+            # (a later shrink may free a slot) and the generation is
+            # left alone.
+            matured = fault_plan.peek_rejoins(generation, exclude=spots)
+            if matured:
+                grow_ready = matured
+                store.set(
+                    abort_key, {"generation": generation, "grow": matured}
+                )
+                hub.close()
+                aborted = True
         if time.monotonic() > deadline:
             store.set(abort_key, {"generation": generation, "died": []})
             hub.close()
@@ -442,6 +623,12 @@ def _run_generation(
         )
 
     died_ranks = _detect_deaths(store, ns, world, monitor)
+    # A rank that tripped the monitor mid-generation but is alive again
+    # at the boundary (fresh beat, done flag set) was flapping, not
+    # dead: it stays in the membership.
+    flapped = sorted(
+        spots[r] for r in abort_dead if r not in died_ranks
+    )
     death_reasons = {}
     failed = []
     for rank, error in sorted(errors.items()):
@@ -465,8 +652,11 @@ def _run_generation(
         "died": sorted(spots[r] for r in died_ranks),
         "failed": failed,
         "death_reasons": death_reasons,
+        "flapped": flapped,
+        "grow_ready": grow_ready,
         "resilience": hub.resilience_stats(),
         "faults": fault_plan.stats() if fault_plan is not None else None,
+        "checkpoint": dict(sorted(engine_stats.items())) or None,
     }
 
 

@@ -35,6 +35,8 @@ import numpy as np
 #: Rule scopes.
 WIRE = "wire"
 COLLECTIVE = "collective"
+CHECKPOINT = "checkpoint"
+ELASTIC = "elastic"
 
 #: Wire-scoped actions.
 DROP = "drop"
@@ -45,8 +47,22 @@ CORRUPT = "corrupt"
 CRASH_RANK = "crash_rank"
 #: Wire-scoped: add latency to every send from one rank (a straggler).
 SLOW_RANK = "slow_rank"
+#: Checkpoint-scoped: tear the final on-disk bytes of a matching write
+#: (truncate + flip), producing exactly the signature the CRC trailer
+#: and manifest verification exist to catch.
+CORRUPT_FILE = "corrupt_file"
+#: Checkpoint-scoped: a slow disk — sleep before a matching write lands.
+DELAY_WRITE = "delay_write"
+#: Elastic-scoped: a departed rank announces it wants back in; the
+#: elastic supervisor admits it at the next generation boundary when
+#: ``allow_grow`` is set.
+REJOIN_RANK = "rejoin_rank"
 
-_ACTIONS = {DROP, DELAY, DUPLICATE, CORRUPT, CRASH_RANK, SLOW_RANK}
+_ACTIONS = {
+    DROP, DELAY, DUPLICATE, CORRUPT, CRASH_RANK, SLOW_RANK,
+    CORRUPT_FILE, DELAY_WRITE, REJOIN_RANK,
+}
+_CHECKPOINT_ACTIONS = {CORRUPT_FILE, DELAY_WRITE}
 
 
 class InjectedRankFailure(RuntimeError):
@@ -134,10 +150,24 @@ class FaultRule:
     def __post_init__(self):
         if self.action not in _ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}; options: {sorted(_ACTIONS)}")
-        if self.scope not in (WIRE, COLLECTIVE):
+        if self.scope not in (WIRE, COLLECTIVE, CHECKPOINT, ELASTIC):
             raise ValueError(f"unknown fault scope {self.scope!r}")
         if self.scope == COLLECTIVE and self.action != CRASH_RANK:
             raise ValueError("collective-scoped rules only support crash_rank")
+        if (self.scope == CHECKPOINT) != (self.action in _CHECKPOINT_ACTIONS):
+            raise ValueError(
+                "corrupt_file/delay_write are checkpoint-scoped (and the "
+                "checkpoint scope supports only them); use the "
+                "corrupt_file()/delay_write(seconds) constructors"
+            )
+        if (self.scope == ELASTIC) != (self.action == REJOIN_RANK):
+            raise ValueError(
+                "rejoin_rank is elastic-scoped (and the elastic scope "
+                "supports only it); use the rejoin_rank(spot, generation=g) "
+                "constructor"
+            )
+        if self.action == REJOIN_RANK and self.rank is None:
+            raise ValueError("rejoin_rank requires the returning spot id")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
 
@@ -162,6 +192,17 @@ class FaultRule:
         if self.op is not None and op != self.op:
             return False
         if self.predicate is not None and not self.predicate(rank, op, seq):
+            return False
+        return True
+
+    def _matches_checkpoint(self, rank: int, path: str) -> bool:
+        if self.scope != CHECKPOINT:
+            return False
+        if self.rank is not None and rank != self.rank:
+            return False
+        if self.tag_contains is not None and self.tag_contains not in path:
+            return False
+        if self.predicate is not None and not self.predicate(rank, path):
             return False
         return True
 
@@ -195,6 +236,49 @@ def crash_rank(rank: int, scope: str = WIRE, **kwargs) -> FaultRule:
 def slow_rank(rank: int, seconds: float, **kwargs) -> FaultRule:
     """Rule: delay every send from ``rank`` (a persistent straggler)."""
     return FaultRule(SLOW_RANK, rank=rank, delay=seconds, **kwargs)
+
+
+def corrupt_file(**kwargs) -> FaultRule:
+    """Rule: tear matching checkpoint writes (truncate + flip a byte).
+
+    Matched against ``(rank, path)`` of every file the verified
+    checkpoint writer produces; ``tag_contains`` substring-matches the
+    path.  The damage is applied to the *final* on-disk bytes — after
+    the CRC trailer is computed — so a firing rule produces a genuine
+    torn-write signature that loads must reject with ``ChecksumError``.
+    """
+    return FaultRule(CORRUPT_FILE, scope=CHECKPOINT, **kwargs)
+
+
+def delay_write(seconds: float, **kwargs) -> FaultRule:
+    """Rule: simulate a slow disk — sleep before matching checkpoint
+    writes reach the filesystem (exercises async-save overlap)."""
+    return FaultRule(DELAY_WRITE, scope=CHECKPOINT, delay=seconds, **kwargs)
+
+
+def rejoin_rank(spot: int, generation: int = 1, **kwargs) -> FaultRule:
+    """Event: spot ``spot`` asks to rejoin during ``generation``.
+
+    The elastic supervisor (``allow_grow=True``) sees the request once
+    the run is in generation >= ``generation``, ends the running
+    generation at a safe boundary, and re-rendezvouses with the spot
+    admitted — so a spot killed in generation 0 with
+    ``rejoin_rank(spot, generation=1)`` trains again from generation 2
+    onward ("rejoins two generations later").  Without ``allow_grow``
+    the event is inert.
+    """
+    return FaultRule(REJOIN_RANK, scope=ELASTIC, rank=spot, after=generation, **kwargs)
+
+
+def _tear_bytes(data: bytes) -> bytes:
+    """A deterministic torn-write signature: drop the tail third and
+    flip a byte near the new end (catches both size and CRC checks)."""
+    if len(data) < 3:
+        return b""
+    cut = max(1, (2 * len(data)) // 3)
+    torn = bytearray(data[:cut])
+    torn[-1] ^= 0x5A
+    return bytes(torn)
 
 
 class FaultPlan:
@@ -293,6 +377,80 @@ class FaultPlan:
                 f"fault plan crashed the rank issuing {op}#{seq}"
                 + (f" (group {group_id})" if group_id is not None else ""),
             )
+
+    def on_checkpoint_write(self, rank: int, path: str, data: bytes) -> bytes:
+        """Filter one checkpoint file write; returns the bytes to land.
+
+        The verified writer (:func:`repro.checkpoint.format.write_verified`
+        and the checkpoint engine) calls this with the final on-disk
+        bytes — payload plus CRC trailer — so ``corrupt_file`` rules
+        produce true torn-write signatures and ``delay_write`` rules
+        model a slow disk (the sleep happens on whichever thread is
+        writing: the training thread for synchronous saves, the engine's
+        writer thread for async ones).
+        """
+        for index, rule in enumerate(self.rules):
+            if not rule._matches_checkpoint(rank, path):
+                continue
+            if not self._fire(index, rule, rank, path):
+                continue
+            if rule.action == DELAY_WRITE:
+                time.sleep(rule.delay)
+            elif rule.action == CORRUPT_FILE:
+                data = _tear_bytes(data)
+        return data
+
+    # -- elastic rejoin events ------------------------------------------
+    def peek_rejoins(self, generation: int, exclude=()) -> List[int]:
+        """Matured, unconsumed rejoin requests as of ``generation``.
+
+        Non-destructive (the supervisor polls this mid-generation to
+        decide whether to end the generation early); spots in
+        ``exclude`` — typically the currently-live membership — are
+        never reported.
+        """
+        exclude = set(exclude)
+        with self._lock:
+            return sorted(
+                rule.rank
+                for index, rule in enumerate(self.rules)
+                if rule.action == REJOIN_RANK
+                and rule.rank not in exclude
+                and generation >= rule.after
+                and not self._fired[index].get("rejoin")
+            )
+
+    def consume_rejoins(
+        self, generation: int, exclude=(), limit: Optional[int] = None
+    ) -> List[int]:
+        """Consume matured rejoin requests (at a generation boundary).
+
+        Each request fires at most once per session; consuming marks it
+        fired so the supervisor does not re-admit the same spot every
+        generation.  ``limit`` caps how many are consumed (the
+        supervisor passes remaining ``max_world_size`` capacity; the
+        rest stay pending for a later boundary).  Returns the admitted
+        spot ids, sorted.
+        """
+        exclude = set(exclude)
+        admitted = []
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if limit is not None and len(admitted) >= limit:
+                    break
+                if (
+                    rule.action == REJOIN_RANK
+                    and rule.rank not in exclude
+                    and generation >= rule.after
+                    and not self._fired[index].get("rejoin")
+                ):
+                    self._fired[index]["rejoin"] = 1
+                    self._matches[index]["rejoin"] = (
+                        self._matches[index].get("rejoin", 0) + 1
+                    )
+                    rule.triggered += 1
+                    admitted.append(rule.rank)
+        return sorted(admitted)
 
     # -- reporting ------------------------------------------------------
     def stats(self) -> List[dict]:

@@ -37,12 +37,27 @@ class Heartbeat:
         self.interval = interval
         self.beats = 0
         self._stop = threading.Event()
+        self._suspended_until = 0.0
         self._thread = threading.Thread(
             target=self._loop, name=f"hb-{namespace}-rank{rank}", daemon=True
         )
 
+    def suspend(self, seconds: float) -> None:
+        """Stop publishing for ``seconds`` without stopping the thread.
+
+        Simulates a *flapping* rank — one whose beat goes stale long
+        enough for the monitor to declare it dead, then resumes within
+        the same generation (a GC pause, a swapped-out process).  The
+        elastic supervisor distinguishes this from a real death at the
+        generation boundary: the beat is fresh again, so the spot is
+        kept in (or readmitted to) the membership.
+        """
+        self._suspended_until = time.monotonic() + seconds
+
     def beat_once(self) -> None:
         """Publish one beat immediately (also called by the loop)."""
+        if time.monotonic() < self._suspended_until:
+            return
         self.beats += 1
         self.store.set(
             heartbeat_key(self.namespace, self.rank),
@@ -103,6 +118,18 @@ class HeartbeatMonitor:
             rank: self.store.try_get(heartbeat_key(self.namespace, rank))
             for rank in self.ranks
         }
+
+    def beat_age(self, rank: int) -> Optional[float]:
+        """Seconds since ``rank`` last beat (None when never seen).
+
+        The supervisor's flap check: a rank declared dead by staleness
+        whose age is back under ``miss_threshold`` at the generation
+        boundary was flapping, not dead.
+        """
+        beat = self.store.try_get(heartbeat_key(self.namespace, rank))
+        if beat is None:
+            return None
+        return time.monotonic() - beat["time"]
 
     def dead_ranks(self) -> List[int]:
         """Ranks whose heartbeat is stale beyond ``miss_threshold``."""

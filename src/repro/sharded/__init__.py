@@ -21,8 +21,11 @@ updates bit-equal to replicated ones.
 """
 
 from repro.sharded.checkpoint import (
+    load_shard_payloads,
     load_sharded_training_checkpoint,
+    reshard_state_dict,
     save_sharded_training_checkpoint,
+    shard_payload,
 )
 from repro.sharded.data_parallel import ShardedDataParallel
 from repro.sharded.flat import FlatShardLayout, unit_bucket_specs
@@ -42,11 +45,14 @@ __all__ = [
     "ShardedDataParallel",
     "ShardedOptimizer",
     "ShardedStats",
+    "load_shard_payloads",
     "load_sharded_training_checkpoint",
     "measure_ddp_bytes",
     "module_arrays",
     "optimizer_state_arrays",
+    "reshard_state_dict",
     "save_sharded_training_checkpoint",
+    "shard_payload",
     "storage_bytes",
     "unit_bucket_specs",
 ]

@@ -1,26 +1,44 @@
-"""Sharded checkpointing: full-model snapshots from sharded training.
+"""Sharded checkpointing: full-model snapshots and cross-world resharding.
 
-The on-disk format is exactly :func:`repro.utils.checkpoint.save_training_checkpoint`'s
+Two families live here:
+
+**Consolidated checkpoints** (PR-4 era, still the elastic wrappers'
+`save_training_state` path): the on-disk format is exactly
+:func:`repro.utils.checkpoint.save_training_checkpoint`'s
 (``state/{name}``, ``opt/{index}/{key}``, ``meta/iteration``,
-``extra/{key}`` in one atomically written npz), so a checkpoint written
-mid-ZeRO-training restores into plain local training, DDP, or any
-sharding stage — including a *different world size*, which is what lets
-these compose with :func:`repro.resilience.elastic.run_elastic`'s
-shrink-to-survive recovery: survivors re-wrap at the new world and load
-the same file.
+``extra/{key}`` in one atomically written, CRC-trailed npz), so a
+checkpoint written mid-ZeRO-training restores into plain local training,
+DDP, or any sharding stage — including a *different world size*.
+:func:`reshard_state_dict` is the primitive that makes the cross-world
+claim precise: it maps a consolidated (positionally keyed, full-array)
+optimizer state dict onto any target :class:`~repro.sharded.flat
+.FlatShardLayout` and rank, returning exactly the per-bucket span state
+that rank's inner optimizer should hold.  Buckets are world-independent
+(the bucket assignment depends only on parameters and cap), so shrink
+4→2 and grow 2→4 round-trip bit-exactly for every ZeRO stage.
 
-Saving is **collective** (state consolidation all-gathers parameter and
-optimizer spans), but only rank 0 touches the filesystem.  Loading is
-purely local: every rank parses the file and keeps its own spans.
+**Shard payloads** (the checkpoint-engine path): each rank persists only
+its own spans (:func:`shard_payload`), no collectives at save time;
+:func:`load_shard_payloads` reassembles full flats from any saved world
+size — old spans are reconstructed with ``partition_spans(total,
+saved_world)``, which is deterministic — and re-slices them into the
+current layout.  This is what lets
+:class:`~repro.checkpoint.engine.CheckpointEngine` restore a ZeRO run
+into a grown or shrunk world from per-rank files (or their replicas).
+
+Saving consolidated checkpoints is **collective** (state consolidation
+all-gathers parameter and optimizer spans) but only rank 0 touches the
+filesystem; loading is purely local.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.checkpoint import _atomic_savez
+from repro.checkpoint.format import ChecksumError, load_verified_npz
+from repro.utils.checkpoint import _atomic_savez, parse_training_payload
 
 
 def save_sharded_training_checkpoint(
@@ -59,30 +77,245 @@ def load_sharded_training_checkpoint(path: str, model) -> Dict:
     state through the wrapper (which re-shards it), and slices its spans
     of the positional optimizer state.  Accepts checkpoints written by
     either :func:`save_sharded_training_checkpoint` or plain
-    :func:`repro.utils.checkpoint.save_training_checkpoint`.
+    :func:`repro.utils.checkpoint.save_training_checkpoint` — at any
+    world size.  A torn or corrupt file raises
+    :class:`~repro.checkpoint.format.ChecksumError`.
     Returns ``{"iteration": int, "extra": dict}``.
     """
-    with np.load(path) as data:
-        state = {}
-        opt_state: Dict[int, Dict] = {}
-        extra = {}
-        iteration = 0
-        num_params = None
-        for key in data.files:
-            if key.startswith("state/"):
-                state[key[len("state/"):]] = data[key]
-            elif key.startswith("opt/"):
-                _, index, name = key.split("/", 2)
-                opt_state.setdefault(int(index), {})[name] = data[key]
-            elif key == "meta/iteration":
-                iteration = int(data[key])
-            elif key == "meta/opt_num_params":
-                num_params = int(data[key])
-            elif key.startswith("extra/"):
-                extra[key[len("extra/"):]] = data[key]
+    data = load_verified_npz(path)
+    state, opt_state, iteration, num_params, extra = parse_training_payload(data)
     model.load_state_dict(state)
     consolidated: Dict = {"state": opt_state}
     if num_params is not None:
         consolidated["num_params"] = num_params
     model.optimizer.load_consolidated_state_dict(consolidated)
     return {"iteration": iteration, "extra": extra}
+
+
+# -- cross-world resharding ------------------------------------------------
+def reshard_state_dict(state_dict: Dict, layout, rank: int) -> List[Dict]:
+    """Reshard a consolidated optimizer state dict onto a target layout.
+
+    ``state_dict`` is what
+    :meth:`~repro.sharded.optimizer.ShardedOptimizer.consolidated_state_dict`
+    returns (``{"state": {param_index: {key: full array | scalar}},
+    "num_params": N}``), written at *any* world size; ``layout`` is the
+    target :class:`~repro.sharded.flat.FlatShardLayout` and ``rank`` the
+    target rank.  Returns one dict per bucket mapping each state key to
+    the rank's span of the bucket's flat order (scalars pass through) —
+    exactly what the inner optimizer should hold for that bucket's shard
+    tensor.  Buckets whose parameters carry no state get ``{}``.
+
+    Purely local and world-agnostic: the consolidated dict has no span
+    structure left in it, so shrink 4→2 and grow 2→4 both reduce to
+    "re-slice the full arrays along the new span table".
+    """
+    num_params = state_dict.get("num_params")
+    if num_params is not None and int(num_params) != len(layout.params):
+        raise ValueError(
+            f"consolidated optimizer state covers {int(num_params)} "
+            f"parameters but the target layout has {len(layout.params)}"
+        )
+    state = state_dict.get("state", {})
+    for index in state:
+        if not 0 <= int(index) < len(layout.params):
+            raise ValueError(
+                f"optimizer state refers to parameter {index} but only "
+                f"{len(layout.params)} parameters are registered"
+            )
+
+    def per_param(index: int) -> Dict:
+        return state.get(index, state.get(str(index), {}))
+
+    resharded: List[Dict] = []
+    for bucket in range(layout.num_buckets):
+        keys = set()
+        bucket_param_indices = [
+            index for index, _, _ in layout.bucket_entries(bucket)
+        ]
+        for index in bucket_param_indices:
+            keys.update(per_param(index).keys())
+        shard_state: Dict = {}
+        lo, hi = layout.span(bucket, rank)
+        for key in sorted(keys):
+            sample = None
+            for index in bucket_param_indices:
+                if key in per_param(index):
+                    sample = per_param(index)[key]
+                    break
+            value = np.asarray(sample)
+            if value.ndim == 0:
+                shard_state[key] = value.item()
+                continue
+            flat = np.zeros(
+                layout.buckets[bucket].total_elements,
+                dtype=layout.bucket_dtype(bucket),
+            )
+            for index, offset, size in layout.bucket_entries(bucket):
+                per = per_param(index)
+                if key in per:
+                    entry = np.asarray(per[key]).reshape(-1)
+                    if entry.size != size:
+                        raise ValueError(
+                            f"state '{key}' for parameter {index} has "
+                            f"{entry.size} elements, expected {size}"
+                        )
+                    flat[offset : offset + size] = entry
+            shard_state[key] = flat[lo:hi].copy()
+        resharded.append(shard_state)
+    return resharded
+
+
+# -- per-rank shard payloads (checkpoint-engine path) ----------------------
+def shard_payload(model, include_buffers: bool = False) -> Tuple[Dict, Dict]:
+    """One rank's checkpoint shard of a sharded wrapper, no collectives.
+
+    Returns ``(arrays, meta)``: arrays hold this rank's parameter span
+    per bucket (``param/b{b}`` — the shard tensors, which are the
+    authoritative span storage in every ZeRO stage) and its optimizer
+    state spans (``opt/b{b}/{key}``, scalars as 0-d arrays); with
+    ``include_buffers`` (rank 0) the module's full buffers ride along as
+    ``buffer/{name}``.  ``meta`` records what a restore at a different
+    world size must validate: bucket totals, parameter count, stage, and
+    this rank's spans.
+    """
+    optimizer = model.optimizer
+    layout = optimizer.layout
+    arrays: Dict[str, np.ndarray] = {}
+    for bucket, shard in enumerate(optimizer.shards):
+        arrays[f"param/b{bucket}"] = np.array(shard.data, copy=True)
+        state = optimizer.inner.state.get(id(shard)) or {}
+        for key in sorted(state):
+            value = state[key]
+            arrays[f"opt/b{bucket}/{key}"] = np.array(value, copy=True)
+    if include_buffers:
+        for name, buf in model.module.named_buffers():
+            arrays[f"buffer/{name}"] = np.array(buf.data, copy=True)
+    meta = {
+        "stage": getattr(getattr(model, "stats", None), "stage", "sharded"),
+        "num_params": len(optimizer.params),
+        "bucket_totals": [int(b.total_elements) for b in layout.buckets],
+        "span": [
+            [int(lo), int(hi)]
+            for lo, hi in (
+                layout.span(b, optimizer.rank) for b in range(layout.num_buckets)
+            )
+        ],
+    }
+    return arrays, meta
+
+
+def load_shard_payloads(model, shards: Dict[int, Tuple[Dict, object]]) -> Dict:
+    """Reassemble per-rank shard payloads into a (possibly re-worlded)
+    sharded wrapper.
+
+    ``shards`` maps every *saved* rank to its ``(arrays, manifest)``
+    pair (:func:`shard_payload` output; the manifest supplies the saved
+    world size and meta).  The saved span table is reconstructed with
+    ``partition_spans(total, saved_world)`` — deterministic, so nothing
+    but the shards themselves needs to survive — full flats are
+    assembled per bucket, and this rank's *new* spans are sliced into
+    the shard tensors, the live parameters (except ZeRO-3, whose freed
+    stubs regather lazily from the shards), and the inner optimizer's
+    state.  Purely local.  Returns ``{"iteration", "extra"}``.
+    """
+    from repro.comm.algorithms import partition_spans
+
+    optimizer = model.optimizer
+    layout = optimizer.layout
+    if 0 not in shards:
+        raise ValueError("shard payloads must include saved rank 0")
+    rank0_arrays, rank0_manifest = shards[0]
+    saved_world = int(rank0_manifest.world_size)
+    meta = rank0_manifest.meta
+    missing = [r for r in range(saved_world) if r not in shards]
+    if missing:
+        raise ValueError(
+            f"shard payloads cover saved world {saved_world} but ranks "
+            f"{missing} are absent"
+        )
+    bucket_totals = [int(x) for x in meta.get("bucket_totals", [])]
+    ours = [int(b.total_elements) for b in layout.buckets]
+    if bucket_totals and bucket_totals != ours:
+        raise ValueError(
+            f"saved bucket layout {bucket_totals} does not match the target "
+            f"layout {ours}; bucket caps or the model differ"
+        )
+    num_params = meta.get("num_params")
+    if num_params is not None and int(num_params) != len(optimizer.params):
+        raise ValueError(
+            f"saved shards cover {int(num_params)} parameters but the "
+            f"target model has {len(optimizer.params)}"
+        )
+
+    sharded_params = hasattr(model, "summon_full_params")
+    for bucket, shard in enumerate(optimizer.shards):
+        total = int(layout.buckets[bucket].total_elements)
+        old_spans = partition_spans(total, saved_world)
+        flat = np.zeros(total, dtype=layout.bucket_dtype(bucket))
+        keys = set()
+        prefix = f"opt/b{bucket}/"
+        for old_rank in range(saved_world):
+            arrays, _ = shards[old_rank]
+            lo, hi = old_spans[old_rank]
+            piece = arrays.get(f"param/b{bucket}")
+            if piece is None or piece.size != hi - lo:
+                raise ChecksumError(
+                    f"saved rank {old_rank} shard of bucket {bucket} holds "
+                    f"{0 if piece is None else piece.size} elements, "
+                    f"expected {hi - lo}"
+                )
+            flat[lo:hi] = np.asarray(piece).reshape(-1)
+            keys.update(
+                key[len(prefix):] for key in arrays if key.startswith(prefix)
+            )
+        new_lo, new_hi = layout.span(bucket, optimizer.rank)
+        shard.data[...] = flat[new_lo:new_hi]
+        if not sharded_params:
+            layout.scatter_into_params(bucket, flat)
+        shard_state: Dict = {}
+        for key in sorted(keys):
+            scalar = None
+            pieces: Dict[int, np.ndarray] = {}
+            for old_rank in range(saved_world):
+                arrays, _ = shards[old_rank]
+                value = arrays.get(f"{prefix}{key}")
+                if value is None:
+                    continue
+                value = np.asarray(value)
+                if value.ndim == 0:
+                    scalar = value.item()
+                else:
+                    pieces[old_rank] = value
+            if not pieces:
+                if scalar is not None:
+                    shard_state[key] = scalar
+                continue
+            key_flat = np.zeros(total, dtype=next(iter(pieces.values())).dtype)
+            for old_rank, value in pieces.items():
+                lo, hi = old_spans[old_rank]
+                if value.size != hi - lo:
+                    raise ChecksumError(
+                        f"saved rank {old_rank} state '{key}' of bucket "
+                        f"{bucket} holds {value.size} elements, expected "
+                        f"{hi - lo}"
+                    )
+                key_flat[lo:hi] = value.reshape(-1)
+            shard_state[key] = key_flat[new_lo:new_hi].copy()
+        if shard_state:
+            optimizer.inner.state[id(shard)] = shard_state
+        else:
+            optimizer.inner.state.pop(id(shard), None)
+
+    own_buffers = dict(model.module.named_buffers())
+    for key, value in rank0_arrays.items():
+        if key.startswith("buffer/"):
+            name = key[len("buffer/"):]
+            if name in own_buffers:
+                np.copyto(own_buffers[name].data, value)
+    extra = {
+        key[len("extra/"):]: value
+        for key, value in rank0_arrays.items()
+        if key.startswith("extra/")
+    }
+    return {"iteration": int(rank0_manifest.iteration), "extra": extra}

@@ -247,61 +247,18 @@ class ShardedOptimizer:
         """Install this rank's spans of a consolidated state dict.
 
         Purely local (every rank holds the full dict after loading a
-        checkpoint): array state is reassembled into each bucket's flat
-        order and the rank's span copied onto the shard tensors' state.
+        checkpoint): :func:`~repro.sharded.checkpoint.reshard_state_dict`
+        reassembles array state into each bucket's flat order — against
+        *this* layout and world, whatever world wrote the dict — and the
+        rank's spans are copied onto the shard tensors' state.
         """
-        num_params = state_dict.get("num_params")
-        if num_params is not None and int(num_params) != len(self.params):
-            raise ValueError(
-                f"consolidated optimizer state covers {int(num_params)} "
-                f"parameters but this optimizer has {len(self.params)}"
-            )
-        state = state_dict.get("state", {})
-        for index in state:
-            if not 0 <= int(index) < len(self.params):
-                raise ValueError(
-                    f"optimizer state refers to parameter {index} but only "
-                    f"{len(self.params)} parameters are registered"
-                )
+        from repro.sharded.checkpoint import reshard_state_dict
+
+        resharded = reshard_state_dict(state_dict, self.layout, self.rank)
         self.inner.state.clear()
-        for bucket, shard in enumerate(self.shards):
-            keys = set()
-            bucket_param_indices = [
-                index for index, _, _ in self.layout.bucket_entries(bucket)
-            ]
-            for index in bucket_param_indices:
-                keys.update(state.get(index, state.get(str(index), {})).keys())
-            if not keys:
-                continue
-            shard_state: Dict = {}
-            lo, hi = self.layout.span(bucket, self.rank)
-            for key in sorted(keys):
-                sample = None
-                for index in bucket_param_indices:
-                    per = state.get(index, state.get(str(index), {}))
-                    if key in per:
-                        sample = per[key]
-                        break
-                value = np.asarray(sample)
-                if value.ndim == 0:
-                    shard_state[key] = value.item()
-                    continue
-                flat = np.zeros(
-                    self.layout.buckets[bucket].total_elements,
-                    dtype=self.layout.bucket_dtype(bucket),
-                )
-                for index, offset, size in self.layout.bucket_entries(bucket):
-                    per = state.get(index, state.get(str(index), {}))
-                    if key in per:
-                        entry = np.asarray(per[key]).reshape(-1)
-                        if entry.size != size:
-                            raise ValueError(
-                                f"state '{key}' for parameter {index} has "
-                                f"{entry.size} elements, expected {size}"
-                            )
-                        flat[offset : offset + size] = entry
-                shard_state[key] = flat[lo:hi].copy()
-            self.inner.state[id(shard)] = shard_state
+        for shard, shard_state in zip(self.shards, resharded):
+            if shard_state:
+                self.inner.state[id(shard)] = shard_state
 
     def __repr__(self) -> str:
         return (

@@ -8,25 +8,43 @@ checkpointing is a rank-0-only concern: save on rank 0, load everywhere
 with optimizer state and the iteration counter — the restart unit the
 elastic supervisor (:mod:`repro.resilience`) restores surviving ranks
 from after a shrink.  Writes are atomic (tmp file + ``os.replace``) so
-a rank dying mid-save can never leave a half-written checkpoint behind.
+a rank dying mid-save can never leave a half-written checkpoint behind,
+and every file carries :mod:`repro.checkpoint.format`'s CRC trailer so
+a *torn* write — a crash after the rename, a disk that lied — is
+rejected at load time with :class:`~repro.checkpoint.format.ChecksumError`
+instead of unpickling garbage.  Files written before the trailer existed
+remain loadable (the trailer is appended after an ordinary ``.npz``, and
+its absence is accepted); structurally damaged legacy files also raise
+:class:`ChecksumError`, never a bare ``BadZipFile``.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.checkpoint.format import (
+    ChecksumError,
+    load_verified_npz,
+    npz_bytes,
+    write_verified,
+)
 
-def _atomic_savez(path: str, payload: Dict) -> None:
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    tmp = path + ".tmp"
-    np.savez(tmp, **payload)
-    # np.savez appends .npz to paths without the suffix.
-    produced = tmp if os.path.exists(tmp) else tmp + ".npz"
-    os.replace(produced, path)
+__all__ = [
+    "ChecksumError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "parse_training_payload",
+    "install_training_payload",
+    "training_payload",
+]
+
+
+def _atomic_savez(path: str, payload: Dict, fault_hook=None, rank: int = 0) -> None:
+    write_verified(path, npz_bytes(payload), fault_hook=fault_hook, rank=rank)
 
 
 def save_checkpoint(path: str, module, extra: Dict | None = None) -> None:
@@ -39,20 +57,51 @@ def save_checkpoint(path: str, module, extra: Dict | None = None) -> None:
 
 
 def load_checkpoint(path: str, module) -> Dict:
-    """Load a checkpoint into ``module``; returns the extra metadata."""
-    with np.load(path) as data:
-        state = {
-            key[len("state/"):]: data[key]
-            for key in data.files
-            if key.startswith("state/")
-        }
-        extra = {
-            key[len("extra/"):]: data[key]
-            for key in data.files
-            if key.startswith("extra/")
-        }
+    """Load a checkpoint into ``module``; returns the extra metadata.
+
+    Raises :class:`ChecksumError` on a torn or corrupt file.
+    """
+    data = load_verified_npz(path)
+    state = {
+        key[len("state/"):]: value
+        for key, value in data.items()
+        if key.startswith("state/")
+    }
+    extra = {
+        key[len("extra/"):]: value
+        for key, value in data.items()
+        if key.startswith("extra/")
+    }
     module.load_state_dict(state)
     return extra
+
+
+def training_payload(
+    module, optimizer=None, iteration: int = 0, extra: Dict | None = None,
+    copy: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Build the flat ``state/ opt/ meta/ extra/`` array mapping of a
+    training checkpoint.  ``copy=True`` detaches every array from live
+    training state (the checkpoint engine's snapshot step)."""
+    payload = {
+        f"state/{name}": (np.array(value, copy=True) if copy else value)
+        for name, value in module.state_dict().items()
+    }
+    if optimizer is not None:
+        opt_dict = optimizer.state_dict()
+        for index, per_param in opt_dict["state"].items():
+            for key, value in per_param.items():
+                payload[f"opt/{index}/{key}"] = (
+                    np.array(value, copy=True) if copy else np.asarray(value)
+                )
+        if "num_params" in opt_dict:
+            # Guards positional restore: loading into an optimizer with
+            # a different parameter count fails loudly, not misaligned.
+            payload["meta/opt_num_params"] = np.asarray(int(opt_dict["num_params"]))
+    payload["meta/iteration"] = np.asarray(int(iteration))
+    for key, value in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(value)
+    return payload
 
 
 def save_training_checkpoint(
@@ -68,48 +117,42 @@ def save_training_checkpoint(
     moments) is flattened as ``opt/{index}/{key}`` arrays; restoring it
     is what keeps a resumed run on the same optimization trajectory.
     """
-    payload = {
-        f"state/{name}": value for name, value in module.state_dict().items()
-    }
-    if optimizer is not None:
-        opt_dict = optimizer.state_dict()
-        for index, per_param in opt_dict["state"].items():
-            for key, value in per_param.items():
-                payload[f"opt/{index}/{key}"] = np.asarray(value)
-        if "num_params" in opt_dict:
-            # Guards positional restore: loading into an optimizer with
-            # a different parameter count fails loudly, not misaligned.
-            payload["meta/opt_num_params"] = np.asarray(int(opt_dict["num_params"]))
-    payload["meta/iteration"] = np.asarray(int(iteration))
-    for key, value in (extra or {}).items():
-        payload[f"extra/{key}"] = np.asarray(value)
-    _atomic_savez(path, payload)
+    _atomic_savez(path, training_payload(module, optimizer, iteration, extra))
 
 
-def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
-    """Restore a :func:`save_training_checkpoint` file.
+def parse_training_payload(
+    data: Dict[str, np.ndarray],
+) -> Tuple[Dict, Dict[int, Dict], int, Optional[int], Dict]:
+    """Split a flat checkpoint array mapping into its sections:
+    ``(model_state, opt_state_by_index, iteration, opt_num_params, extra)``."""
+    state: Dict = {}
+    opt_state: Dict[int, Dict] = {}
+    extra: Dict = {}
+    iteration = 0
+    opt_num_params = None
+    for key, value in data.items():
+        if key.startswith("state/"):
+            state[key[len("state/"):]] = value
+        elif key.startswith("opt/"):
+            _, index, name = key.split("/", 2)
+            opt_state.setdefault(int(index), {})[name] = value
+        elif key == "meta/iteration":
+            iteration = int(value)
+        elif key == "meta/opt_num_params":
+            opt_num_params = int(value)
+        elif key.startswith("extra/"):
+            extra[key[len("extra/"):]] = value
+    return state, opt_state, iteration, opt_num_params, extra
 
-    Loads model state into ``module`` and (when given) optimizer state
-    into ``optimizer``; returns ``{"iteration": int, "extra": dict}``.
-    """
-    with np.load(path) as data:
-        state = {}
-        opt_state: Dict[int, Dict] = {}
-        extra = {}
-        iteration = 0
-        opt_num_params = None
-        for key in data.files:
-            if key.startswith("state/"):
-                state[key[len("state/"):]] = data[key]
-            elif key.startswith("opt/"):
-                _, index, name = key.split("/", 2)
-                opt_state.setdefault(int(index), {})[name] = data[key]
-            elif key == "meta/iteration":
-                iteration = int(data[key])
-            elif key == "meta/opt_num_params":
-                opt_num_params = int(data[key])
-            elif key.startswith("extra/"):
-                extra[key[len("extra/"):]] = data[key]
+
+def install_training_payload(
+    data: Dict[str, np.ndarray], module, optimizer=None
+) -> Dict:
+    """Install a parsed checkpoint mapping into ``module``/``optimizer``;
+    returns ``{"iteration": int, "extra": dict}``.  Shared by
+    :func:`load_training_checkpoint` and the checkpoint engine's
+    replica-restore path (which gets its bytes off the wire)."""
+    state, opt_state, iteration, opt_num_params, extra = parse_training_payload(data)
     module.load_state_dict(state)
     if optimizer is not None:
         opt_dict: Dict = {"state": opt_state}
@@ -117,3 +160,14 @@ def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
             opt_dict["num_params"] = opt_num_params
         optimizer.load_state_dict(opt_dict)
     return {"iteration": iteration, "extra": extra}
+
+
+def load_training_checkpoint(path: str, module, optimizer=None) -> Dict:
+    """Restore a :func:`save_training_checkpoint` file.
+
+    Loads model state into ``module`` and (when given) optimizer state
+    into ``optimizer``; returns ``{"iteration": int, "extra": dict}``.
+    A partially written or corrupted file raises :class:`ChecksumError`
+    before any state is touched.
+    """
+    return install_training_payload(load_verified_npz(path), module, optimizer)
